@@ -1,0 +1,22 @@
+"""Shared helpers for the figure benchmarks.
+
+Each benchmark module covers one experiment of DESIGN.md's index: it
+*times* a representative cell with pytest-benchmark and *prints* the
+regenerated (reduced-scale) series rows — the same rows the paper
+plots — outside the timed section.  Full paper-scale regeneration is
+``python -m repro.bench --figure N``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's output capture so series stay visible."""
+
+    def _show(text):
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,159 @@
+"""Ablation benches for pmcast's design choices (DESIGN.md §6).
+
+One table per knob, each sweeping the knob with everything else fixed:
+
+* redundancy R — the membership-reliability lever of §2.2;
+* fanout F — the gossip intensity lever;
+* the §3.2 local-interest shortcut — fewer root messages for events of
+  local interest, same delivery;
+* the §6 leaf-flood extension — messages vs delivery in dense leaves;
+* regrouping compaction (approximate filters near the root, §6) — its
+  false-reception cost.
+"""
+
+from repro.addressing import AddressSpace
+from repro.config import PmcastConfig, SimConfig
+from repro.interests import Event, RegroupPolicy
+from repro.sim import (
+    PmcastGroup,
+    bernoulli_interests,
+    clustered_interests,
+    derive_rng,
+    random_event,
+    random_subscriptions,
+    run_dissemination,
+)
+
+ARITY, DEPTH = 8, 3
+TRIALS = 3
+
+
+def run_config(config, rate=0.5, workload="bernoulli", seed=0,
+               regroup_policy=None):
+    addresses = AddressSpace.regular(ARITY, DEPTH).enumerate_regular(ARITY)
+    totals = {"delivery": 0.0, "false": 0.0, "messages": 0.0, "rounds": 0.0}
+    for trial in range(TRIALS):
+        rng = derive_rng(seed, "ablation", workload, rate, trial)
+        if workload == "bernoulli":
+            members = bernoulli_interests(addresses, rate, rng)
+        elif workload == "clustered":
+            members = clustered_interests(addresses, rate, 0.9, rng)
+        else:
+            members = random_subscriptions(addresses, rng, selectivity=0.5)
+        group = PmcastGroup.build(members, config, regroup_policy)
+        if workload == "content":
+            event = random_event(rng, event_id=rng.randrange(2**31))
+        else:
+            event = Event({}, event_id=rng.randrange(2**31))
+        report = run_dissemination(
+            group, rng.choice(addresses), event,
+            SimConfig(seed=rng.randrange(2**31), loss_probability=0.05),
+        )
+        totals["delivery"] += report.delivery_ratio
+        totals["false"] += report.false_reception_ratio
+        totals["messages"] += report.messages_sent
+        totals["rounds"] += report.rounds
+    return {key: value / TRIALS for key, value in totals.items()}
+
+
+def _table(title, rows):
+    lines = [title,
+             f"{'setting':>22} | {'delivery':>8} | {'false':>6} "
+             f"| {'messages':>8} | {'rounds':>6}"]
+    for label, row in rows:
+        lines.append(
+            f"{label:>22} | {row['delivery']:>8.3f} | {row['false']:>6.3f} "
+            f"| {row['messages']:>8.0f} | {row['rounds']:>6.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_ablation_redundancy(benchmark, show):
+    rows = []
+    for redundancy in (1, 2, 3, 4):
+        config = PmcastConfig(fanout=2, redundancy=redundancy)
+        rows.append((f"R = {redundancy}", run_config(config, seed=1)))
+    benchmark.pedantic(
+        lambda: run_config(PmcastConfig(fanout=2, redundancy=3), seed=1),
+        rounds=1, iterations=1,
+    )
+    show(_table("Ablation: delegate redundancy R (loss 5%):", rows))
+    # More delegates -> at least as reliable; R=1 is the fragile floor.
+    assert rows[-1][1]["delivery"] >= rows[0][1]["delivery"] - 0.02
+
+
+def test_ablation_fanout(benchmark, show):
+    rows = []
+    for fanout in (1, 2, 3, 4):
+        config = PmcastConfig(fanout=fanout, redundancy=3)
+        rows.append((f"F = {fanout}", run_config(config, seed=2)))
+    benchmark.pedantic(
+        lambda: run_config(PmcastConfig(fanout=2, redundancy=3), seed=2),
+        rounds=1, iterations=1,
+    )
+    show(_table("Ablation: gossip fanout F (loss 5%):", rows))
+    assert rows[2][1]["delivery"] >= rows[0][1]["delivery"]
+
+
+def test_ablation_local_interest_shortcut(benchmark, show):
+    base = PmcastConfig(fanout=2, redundancy=3)
+    shortcut = PmcastConfig(
+        fanout=2, redundancy=3, local_interest_shortcut=True
+    )
+    rows = [
+        ("no shortcut", run_config(base, workload="clustered", rate=0.15,
+                                   seed=3)),
+        ("§3.2 shortcut", run_config(shortcut, workload="clustered",
+                                     rate=0.15, seed=3)),
+    ]
+    benchmark.pedantic(
+        lambda: run_config(shortcut, workload="clustered", rate=0.15, seed=3),
+        rounds=1, iterations=1,
+    )
+    show(_table(
+        "Ablation: §3.2 local-interest shortcut (clustered interests):",
+        rows,
+    ))
+    # Shortcut must not hurt delivery materially.
+    assert rows[1][1]["delivery"] >= rows[0][1]["delivery"] - 0.1
+
+
+def test_ablation_leaf_flood(benchmark, show):
+    base = PmcastConfig(fanout=2, redundancy=3)
+    flood = PmcastConfig(fanout=2, redundancy=3, leaf_flood_threshold=0.7)
+    rows = [
+        ("random gossip", run_config(base, rate=0.9, seed=4)),
+        ("§6 leaf flood", run_config(flood, rate=0.9, seed=4)),
+    ]
+    benchmark.pedantic(
+        lambda: run_config(flood, rate=0.9, seed=4), rounds=1, iterations=1
+    )
+    show(_table("Ablation: §6 leaf flooding at dense interest (p_d=0.9):",
+                rows))
+    # Flooding a dense leaf must not lose reliability.
+    assert rows[1][1]["delivery"] >= rows[0][1]["delivery"] - 0.02
+
+
+def test_ablation_regroup_compaction(benchmark, show):
+    config = PmcastConfig(fanout=2, redundancy=3)
+    rows = [
+        ("exact regrouping",
+         run_config(config, workload="content", seed=5,
+                    regroup_policy=RegroupPolicy.exact())),
+        ("near-root compaction",
+         run_config(config, workload="content", seed=5,
+                    regroup_policy=RegroupPolicy.near_root())),
+    ]
+    benchmark.pedantic(
+        lambda: run_config(config, workload="content", seed=5,
+                           regroup_policy=RegroupPolicy.near_root()),
+        rounds=1, iterations=1,
+    )
+    show(_table(
+        "Ablation: interest-regrouping compaction (content workload):",
+        rows,
+    ))
+    # Compaction is conservative: delivery must not drop...
+    assert rows[1][1]["delivery"] >= rows[0][1]["delivery"] - 0.02
+    # ...its price can only be extra (false) receptions.
+    assert rows[1][1]["false"] >= rows[0][1]["false"] - 0.02

@@ -1,0 +1,94 @@
+"""Experiment B5 — delivery under continuous churn.
+
+The paper's simulations freeze membership during a run (§4.1: "the
+composition of the group does not vary"); its membership machinery
+(§2.3) exists precisely because real groups churn.  This bench sweeps
+the churn intensity (joins/leaves/crashes per round) and measures
+per-event delivery against the membership at publish time, with the
+§2.3 detectors running live.
+"""
+
+import random
+
+from repro.addressing import AddressSpace
+from repro.addressing.allocation import AddressAllocator
+from repro.config import PmcastConfig, SimConfig
+from repro.interests import Event, StaticInterest
+from repro.sim.churn import poisson_churn, run_with_churn
+from repro.sim.runtime import GroupRuntime
+
+ARITY, DEPTH = 6, 3                     # n = 216 initially
+ROUNDS = 36
+PUBLISH_ROUNDS = (3, 9, 15, 21, 27)
+
+
+def run_level(level, seed=0):
+    """One churn intensity: rate ``level`` for joins, leaves, crashes."""
+    space = AddressSpace.regular(ARITY, DEPTH)
+    addresses = space.enumerate_regular(ARITY)
+    members = {address: StaticInterest(True) for address in addresses}
+    runtime = GroupRuntime(
+        members,
+        config=PmcastConfig(fanout=3, redundancy=3, min_rounds_per_depth=2),
+        sim_config=SimConfig(seed=seed),
+        detector_timeout=10,
+    )
+    allocator = AddressAllocator(space, min_subgroup=3)
+    for address in addresses:
+        allocator.reserve(address)
+    schedule = poisson_churn(
+        allocator,
+        list(addresses),
+        lambda rng: StaticInterest(True),
+        rounds=ROUNDS,
+        join_rate=level,
+        leave_rate=level * 0.6,
+        crash_rate=level * 0.4,
+        rng=random.Random(seed + 1),
+    )
+    publishes = [
+        (round_index, addresses[round_index], Event({}, event_id=8000 + round_index))
+        for round_index in PUBLISH_ROUNDS
+    ]
+    records = run_with_churn(runtime, schedule, publishes, rounds=ROUNDS)
+    ratios = [
+        len(record["delivered"]) / max(len(record["interested_at_publish"]), 1)
+        for record in records
+        if record["published"]
+    ]
+    return {
+        "churn_events": schedule.total_events,
+        "final_size": runtime.size,
+        "mean_delivery": sum(ratios) / max(len(ratios), 1),
+        "min_delivery": min(ratios) if ratios else 0.0,
+    }
+
+
+def test_delivery_under_churn(benchmark, show):
+    benchmark.pedantic(lambda: run_level(0.5, seed=10), rounds=1,
+                       iterations=1)
+
+    lines = [
+        f"Delivery vs churn intensity (n0 = {ARITY ** DEPTH}, "
+        f"{ROUNDS} rounds, {len(PUBLISH_ROUNDS)} publishes):",
+        f"{'churn/round':>11} | {'changes':>7} | {'final n':>7} "
+        f"| {'mean delivery':>13} | {'min delivery':>12}",
+    ]
+    results = {}
+    for level in (0.0, 0.25, 0.5, 1.0):
+        result = run_level(level, seed=10)
+        results[level] = result
+        lines.append(
+            f"{level:>11} | {result['churn_events']:>7} "
+            f"| {result['final_size']:>7} "
+            f"| {result['mean_delivery']:>13.3f} "
+            f"| {result['min_delivery']:>12.3f}"
+        )
+    show("\n".join(lines))
+
+    # Churn-free is the ceiling; moderate churn must stay close to it.
+    assert results[0.0]["mean_delivery"] > 0.99
+    assert results[0.5]["mean_delivery"] > 0.9
+    # Even heavy churn (one join + leaves/crashes per round) keeps the
+    # bulk of publish-time members served.
+    assert results[1.0]["mean_delivery"] > 0.8

@@ -1,0 +1,44 @@
+"""Experiment F4 — Figure 4: P(delivery) for interested processes vs p_d.
+
+Paper caption: n ≈ 10 000 (a = 22), d = 3, R = 3, F = 2.
+Reduced scale here: a = 8 (n = 512), 2 trials per point; run
+``python -m repro.bench --figure 4`` for the paper-scale series.
+"""
+
+from repro.addressing import AddressSpace
+from repro.bench import figure4
+from repro.config import PmcastConfig, SimConfig
+from repro.interests import Event
+from repro.sim import (
+    PmcastGroup,
+    bernoulli_interests,
+    derive_rng,
+    run_dissemination,
+)
+
+ARITY, DEPTH, R, F = 8, 3, 3, 2
+RATES = (0.05, 0.1, 0.2, 0.5, 0.8, 1.0)
+
+
+def one_dissemination():
+    addresses = AddressSpace.regular(ARITY, DEPTH).enumerate_regular(ARITY)
+    members = bernoulli_interests(addresses, 0.5, derive_rng(4, "f4"))
+    group = PmcastGroup.build(members, PmcastConfig(fanout=F, redundancy=R))
+    return run_dissemination(
+        group, addresses[0], Event({}, event_id=44), SimConfig(seed=4)
+    )
+
+
+def test_fig4_delivery_series(benchmark, show):
+    report = benchmark.pedantic(one_dissemination, rounds=3, iterations=1)
+    assert report.delivery_ratio > 0.9
+
+    result = figure4(
+        arity=ARITY, matching_rates=RATES, trials=2, seed=0
+    )
+    show(result.render())
+    simulated = result.get_series("simulated")
+    # Paper shape: ~1 for p_d >= 0.3, degrading toward small p_d.
+    assert simulated.y_at(1.0) > 0.95
+    assert simulated.y_at(0.5) > 0.9
+    assert simulated.y_at(0.05) <= simulated.y_at(0.5)

@@ -1,0 +1,39 @@
+"""Experiment F5 — Figure 5: P(reception) for uninterested processes.
+
+Paper caption: n ≈ 10 000 (a = 22), d = 3, R = 3, F = 2; the curve
+stays below ~0.12 and vanishes as p_d -> 1.  At the reduced arity used
+here the delegate fraction (R/a) is larger, so the absolute ceiling is
+scaled accordingly; the *shape* (hump then decay to 0) is asserted.
+Run ``python -m repro.bench --figure 5`` for paper scale.
+"""
+
+from repro.bench import figure5, reliability_sweep
+
+ARITY, DEPTH, R, F = 8, 3, 3, 2
+RATES = (0.05, 0.2, 0.5, 0.8, 1.0)
+
+
+def sweep_midpoint():
+    return reliability_sweep(
+        (0.2,), ARITY, DEPTH, R, F, trials=1, seed=5
+    )[0]
+
+
+def test_fig5_false_reception_series(benchmark, show):
+    row = benchmark.pedantic(sweep_midpoint, rounds=3, iterations=1)
+    assert 0.0 <= row["false_reception"] <= 1.0
+
+    result = figure5(
+        arity=ARITY, matching_rates=RATES, trials=2, seed=0
+    )
+    show(result.render())
+    simulated = result.get_series("simulated")
+    # Vanishes at p_d = 1 (delegates are then interested themselves).
+    assert simulated.y_at(1.0) == 0.0
+    # Bounded: even at the reduced arity it stays well below flooding.
+    ceiling = 4 * (R / ARITY)
+    for rate in RATES:
+        assert simulated.y_at(rate) <= ceiling
+    # The hump: moderate rates touch more uninterested delegates than
+    # either extreme.
+    assert simulated.y_at(0.2) >= simulated.y_at(1.0)

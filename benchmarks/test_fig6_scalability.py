@@ -1,0 +1,37 @@
+"""Experiment F6 — Figure 6: P(delivery) vs subgroup size a.
+
+Paper caption: d = 3, R = 4, F = 3; series for matching rates 0.5 and
+0.2, a in [10, 40] (n = a^3 up to 64 000).  Reduced scale here:
+a in {6, 9, 12}; run ``python -m repro.bench --figure 6`` for the
+paper-scale sweep.
+"""
+
+from repro.bench import figure6, reliability_sweep
+
+DEPTH, R, F = 3, 4, 3
+ARITIES = (6, 9, 12)
+
+
+def one_point():
+    return reliability_sweep(
+        (0.5,), 9, DEPTH, R, F, trials=1, seed=6
+    )[0]
+
+
+def test_fig6_scalability_series(benchmark, show):
+    row = benchmark.pedantic(one_point, rounds=3, iterations=1)
+    assert row["delivery"] > 0.9
+
+    result = figure6(
+        arities=ARITIES, matching_rates=(0.5, 0.2), trials=2, seed=0,
+        depth=DEPTH, redundancy=R, fanout=F,
+    )
+    show(result.render())
+    high = result.get_series("Matching Rate 0.5")
+    low = result.get_series("Matching Rate 0.2")
+    for arity in ARITIES:
+        # Paper shape: delivery >= ~0.9 across the sweep...
+        assert high.y_at(arity) > 0.9
+        assert low.y_at(arity) > 0.8
+        # ...with the low-rate series at or below the high-rate one.
+        assert low.y_at(arity) <= high.y_at(arity) + 0.05

@@ -1,0 +1,39 @@
+"""Experiment A2 — the flat-group infection chain (Eqs 8-10).
+
+Times one full distribution evaluation (the cost of one depth of the
+tree analysis) and prints the infection CDF over rounds for a
+Figure 4 sized subgroup view (m_i = 66, p_d = 0.5).
+"""
+
+import numpy as np
+
+from repro.analysis import InfectionChain, expected_infected, pittel_rounds
+
+
+def one_depth_expectation():
+    return expected_infected(33, 1.0, rounds=12)
+
+
+def test_markov_chain(benchmark, show):
+    value = benchmark(one_depth_expectation)
+    assert value > 1.0
+
+    chain = InfectionChain(33, 1.0)
+    lines = ["Infection over rounds: n_eff = 66*0.5 = 33, F_eff = 2*0.5:",
+             f"{'round':>6} | {'E[s_t]':>8} | {'P[s_t = n]':>10}"]
+    for rounds in (0, 2, 4, 8, 12, 16, 20):
+        distribution = chain.after(rounds)
+        expected = float(distribution @ np.arange(len(distribution)))
+        lines.append(
+            f"{rounds:>6} | {expected:>8.2f} | {distribution[-1]:>10.4f}"
+        )
+    show("\n".join(lines))
+
+    # Monotone infection growth toward saturation.
+    expectations = [chain.expected_after(t) for t in range(0, 21, 4)]
+    assert all(a <= b + 1e-9 for a, b in zip(expectations, expectations[1:]))
+    # After the Pittel bound, the bulk of the subgroup is infected.
+    import math
+
+    bound = math.ceil(pittel_rounds(33, 1.0))
+    assert chain.expected_after(bound) > 0.8 * 33

@@ -1,0 +1,94 @@
+"""Experiment M1 — gossip-pull convergence time (§2.3).
+
+After a membership change touches one line of one subgroup's view, how
+many anti-entropy rounds until every replica agrees?  Epidemic theory
+says O(log n) rounds; this bench measures it across group sizes and
+fanouts, exercising the exact §2.3 machinery (timestamps, digests,
+pull exchanges).
+"""
+
+import random
+
+from repro.addressing import AddressSpace
+from repro.interests import StaticInterest
+from repro.membership import (
+    MembershipState,
+    MembershipTree,
+    build_process_views,
+)
+from repro.membership.gossip_pull import anti_entropy_until_quiescent
+
+
+def build_states(arity, depth):
+    space = AddressSpace.regular(arity, depth)
+    members = {
+        address: StaticInterest(True)
+        for address in space.enumerate_regular(arity)
+    }
+    tree = MembershipTree.build(members, redundancy=2)
+    return {
+        address: MembershipState(
+            address, build_process_views(tree, address, 0)
+        )
+        for address in tree.members()
+    }
+
+
+def perturb(states):
+    """Freshen one root-view line on one process; return a checker."""
+    first = next(iter(states.values()))
+    table = first.tables[1]
+    bumped = table.rows()[0].with_timestamp(99)
+    table.upsert(bumped)
+
+    def converged():
+        digest = first.tables[1].digest()
+        return all(
+            state.tables[1].digest() == digest for state in states.values()
+        )
+
+    return converged
+
+
+def measure(arity, depth, fanout, seed):
+    states = build_states(arity, depth)
+    converged = perturb(states)
+    rng = random.Random(seed)
+    rounds = anti_entropy_until_quiescent(
+        states, rng, fanout=fanout, quiet_rounds=3, max_rounds=256
+    )
+    return rounds, converged()
+
+
+def test_membership_convergence(benchmark, show):
+    benchmark.pedantic(
+        lambda: measure(3, 2, 1, 0), rounds=3, iterations=1
+    )
+
+    lines = [
+        "Anti-entropy rounds to re-converge after one stale root line "
+        "(quiescence detection included):",
+        f"{'n':>5} | {'(a, d)':>8} | {'fanout':>6} | {'rounds':>6} "
+        f"| {'converged':>9}",
+    ]
+    results = {}
+    for arity, depth in ((3, 2), (4, 2), (3, 3), (4, 3)):
+        for fanout in (1, 2):
+            rounds, done = measure(arity, depth, fanout, seed=arity * 10 + fanout)
+            results[(arity, depth, fanout)] = (rounds, done)
+            lines.append(
+                f"{arity ** depth:>5} | ({arity}, {depth})".ljust(18)
+                + f" | {fanout:>6} | {rounds:>6} | {str(done):>9}"
+            )
+    show("\n".join(lines))
+
+    # Everything converged, and well within the quiescence cap.
+    for (arity, depth, fanout), (rounds, done) in results.items():
+        assert done, f"a={arity} d={depth} F={fanout} failed to converge"
+        assert rounds < 256
+    # Higher fanout never converges (meaningfully) slower.
+    for arity, depth in ((3, 2), (4, 2), (3, 3), (4, 3)):
+        assert (
+            results[(arity, depth, 2)][0]
+            <= results[(arity, depth, 1)][0] + 10
+        )

@@ -1,0 +1,42 @@
+"""Experiment A1 — the round-estimation models (Eq 3, Eq 11, Eq 13).
+
+Times the hot function of Figure 3's line 7 (the algorithm evaluates it
+per buffered event per depth per period) and prints the per-depth round
+budget table for the Figure 4 configuration.
+"""
+
+from repro.analysis import (
+    loss_adjusted_rounds,
+    pittel_rounds,
+    tree_total_rounds,
+)
+
+
+def eval_line7_bound():
+    # The expression pmcast evaluates constantly: T(|view| R rate, F rate).
+    return pittel_rounds(66 * 0.5, 2 * 0.5)
+
+
+def test_rounds_model(benchmark, show):
+    value = benchmark(eval_line7_bound)
+    assert value > 0
+
+    lines = ["Eq 13 round budget, a=22 d=3 R=3 F=2 (Figure 4 config):",
+             f"{'p_d':>6} | {'T_1':>5} | {'T_2':>5} | {'T_3':>5} | {'T_tot':>6}"]
+    for rate in (0.01, 0.05, 0.2, 0.5, 1.0):
+        total, per_depth = tree_total_rounds(rate, 22, 3, 3, 2)
+        lines.append(
+            f"{rate:>6} | " + " | ".join(f"{t:>5.1f}" for t in per_depth)
+            + f" | {total:>6.1f}"
+        )
+    lossy, __ = tree_total_rounds(0.5, 22, 3, 3, 2, loss_probability=0.1)
+    clean, __ = tree_total_rounds(0.5, 22, 3, 3, 2)
+    lines.append(f"loss eps=0.1 inflates T_tot {clean:.1f} -> {lossy:.1f}")
+    show("\n".join(lines))
+
+    # Eq 11 must budget more rounds under loss.
+    assert lossy > clean
+    # The §5.1 collapse: the leaf budget goes to ~0 at tiny rates.
+    __, per_depth = tree_total_rounds(0.001, 22, 3, 3, 2)
+    assert per_depth[-1] == 0.0
+    assert loss_adjusted_rounds(100, 2, 0.2) > pittel_rounds(100, 2)

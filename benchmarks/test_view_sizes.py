@@ -1,0 +1,59 @@
+"""Experiment A3 — membership scalability: Eq 2 / Eq 12 view sizes.
+
+Prints m = R a (d-1) + a across group sizes — the O(d R n^(1/d))
+membership-scalability claim — and benchmarks the per-process view
+construction that a join triggers.
+"""
+
+from repro.addressing import AddressSpace
+from repro.interests import StaticInterest
+from repro.membership import (
+    MembershipTree,
+    build_process_views,
+    known_process_count,
+    regular_total_view_size,
+)
+
+
+def build_one_view():
+    space = AddressSpace.regular(8, 3)
+    members = {
+        address: StaticInterest(True)
+        for address in space.enumerate_regular(8)
+    }
+    tree = MembershipTree.build(members, redundancy=3)
+    address = next(iter(tree.members()))
+    return build_process_views(tree, address)
+
+
+def test_view_sizes(benchmark, show):
+    views = benchmark.pedantic(build_one_view, rounds=3, iterations=1)
+    assert len(views) == 3
+
+    lines = ["Eq 12: per-process knowledge m = R a (d-1) + a (R = 3):",
+             f"{'a':>4} | {'d':>3} | {'n = a^d':>8} | {'m':>6} | {'m/n':>8}"]
+    for arity, depth in ((10, 3), (22, 3), (40, 3), (10, 4), (22, 4)):
+        n = arity ** depth
+        m = regular_total_view_size(arity, depth, 3)
+        lines.append(
+            f"{arity:>4} | {depth:>3} | {n:>8} | {m:>6} | {m / n:>8.4f}"
+        )
+    show("\n".join(lines))
+
+    # The model must match the real tree (Eq 2 == Eq 12 when regular).
+    space = AddressSpace.regular(6, 3)
+    members = {
+        address: StaticInterest(True)
+        for address in space.enumerate_regular(6)
+    }
+    tree = MembershipTree.build(members, redundancy=3)
+    expected = regular_total_view_size(6, 3, 3)
+    for address in list(tree.members())[:4]:
+        assert known_process_count(tree, address) == expected
+    # Sub-linear: ~10.6x the group size grows the view only ~2.2x
+    # (m follows n^(1/d), i.e. the cube root at d = 3).
+    growth = regular_total_view_size(22, 3, 3) / regular_total_view_size(
+        10, 3, 3
+    )
+    group_growth = 22 ** 3 / 10 ** 3
+    assert growth < group_growth ** 0.5

@@ -1,0 +1,101 @@
+"""Stock ticker: content-based pub/sub over a multi-site deployment.
+
+The motivating workload of the paper's introduction (it cites the Swiss
+Exchange trading system): thousands of subscribers spread over sites,
+each following a few symbols and price bands, with quotes multicast
+only toward interested subscribers.
+
+This example:
+
+1. builds a 512-process group (8 sites x 8 racks x 8 hosts);
+2. gives every process a subscription over (symbol, price, volume);
+3. publishes a stream of quotes through pmcast;
+4. publishes the same stream through the flat flood-broadcast baseline;
+5. prints the per-protocol totals: deliveries, uninterested receptions
+   and messages — the pmcast-vs-flooding trade the paper is about.
+
+Run:  python examples/stock_ticker.py
+"""
+
+import random
+
+from repro import (
+    AddressSpace,
+    Event,
+    PmcastConfig,
+    PmcastGroup,
+    SimConfig,
+    Subscription,
+    run_dissemination,
+)
+from repro.baselines import flat_gossip_broadcast
+from repro.interests import between, ge, one_of
+
+SYMBOLS = ("NESN", "NOVN", "ROG", "UBSG", "ZURN", "ABBN", "CSGN", "SLHN")
+
+
+def make_subscription(rng: random.Random) -> Subscription:
+    """Follow 1-3 symbols, optionally with a price band or volume floor."""
+    constraints = {
+        "symbol": one_of(rng.sample(SYMBOLS, rng.randint(1, 3))),
+    }
+    if rng.random() < 0.5:
+        low = rng.uniform(10.0, 400.0)
+        constraints["price"] = between(low, low + rng.uniform(50.0, 200.0))
+    if rng.random() < 0.3:
+        constraints["volume"] = ge(rng.randrange(1000, 50000))
+    return Subscription(constraints)
+
+
+def make_quote(rng: random.Random) -> Event:
+    """One quote event."""
+    return Event(
+        {
+            "symbol": rng.choice(SYMBOLS),
+            "price": rng.uniform(10.0, 600.0),
+            "volume": rng.randrange(100, 100000),
+        }
+    )
+
+
+def main() -> None:
+    rng = random.Random(2002)
+    space = AddressSpace.regular(8, 3)
+    addresses = space.enumerate_regular(8)
+    members = {address: make_subscription(rng) for address in addresses}
+
+    group = PmcastGroup.build(
+        members,
+        PmcastConfig(fanout=3, redundancy=3, min_rounds_per_depth=2),
+    )
+
+    quotes = [make_quote(rng) for __ in range(10)]
+    totals = {"pmcast": [0, 0, 0], "flood": [0, 0, 0]}
+    interested_total = 0
+    for index, quote in enumerate(quotes):
+        publisher = rng.choice(addresses)
+        sim = SimConfig(seed=1000 + index, loss_probability=0.01)
+        report = run_dissemination(group, publisher, quote, sim)
+        flood = flat_gossip_broadcast(members, publisher, quote, 3, sim)
+        interested_total += report.interested
+        for name, rep in (("pmcast", report), ("flood", flood)):
+            totals[name][0] += rep.delivered_interested
+            totals[name][1] += rep.received_uninterested
+            totals[name][2] += rep.messages_sent
+
+    print(f"{len(addresses)} subscribers, {len(quotes)} quotes, "
+          f"{interested_total} (event, interested-subscriber) pairs\n")
+    print(f"{'protocol':>8} | {'delivered':>9} | {'uninterested recv':>17} "
+          f"| {'messages':>9}")
+    print("-" * 54)
+    for name, (delivered, false_recv, messages) in totals.items():
+        print(f"{name:>8} | {delivered:>9} | {false_recv:>17} "
+              f"| {messages:>9}")
+    print(
+        "\npmcast delivers comparably while touching far fewer "
+        "uninterested subscribers; flooding touches everyone, every quote."
+    )
+
+
+if __name__ == "__main__":
+    main()

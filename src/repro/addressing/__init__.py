@@ -1,0 +1,28 @@
+"""Hierarchical addressing: the spatial substrate of pmcast (paper §2.2).
+
+Exports:
+    Address, Prefix       -- dotted hierarchical identifiers
+    AddressSpace          -- the set of valid addresses of a group
+    distance, shared_prefix_depth, same_subgroup -- the paper's metric
+"""
+
+from repro.addressing.address import Address, Prefix
+from repro.addressing.allocation import AddressAllocator
+from repro.addressing.distance import (
+    distance,
+    same_subgroup,
+    shared_prefix_depth,
+    subgroup_of,
+)
+from repro.addressing.space import AddressSpace
+
+__all__ = [
+    "Address",
+    "Prefix",
+    "AddressSpace",
+    "AddressAllocator",
+    "distance",
+    "shared_prefix_depth",
+    "same_subgroup",
+    "subgroup_of",
+]

@@ -1,0 +1,240 @@
+"""Hierarchical process addresses (paper §2.2).
+
+An address is a sequence of non-negative integer components
+
+    x(1).x(2). ... .x(d)
+
+A *prefix of depth i* is the partial address ``x(1). ... .x(i-1)``; the
+empty prefix (depth 1) is shared by every process.  The paper bases its
+whole membership tree on the longest-common-prefix structure of these
+addresses, so :class:`Address` and :class:`Prefix` are the bedrock types
+of the library.
+
+Addresses are immutable, hashable and totally ordered component-wise,
+which the membership layer relies on for deterministic delegate election
+("the R processes with the smallest addresses").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import AddressError
+
+__all__ = ["Address", "Prefix"]
+
+
+def _validate_components(components: Sequence[int]) -> Tuple[int, ...]:
+    """Return ``components`` as a tuple, rejecting non-int or negative values."""
+    out = []
+    for component in components:
+        if isinstance(component, bool) or not isinstance(component, int):
+            raise AddressError(
+                f"address component {component!r} is not an integer"
+            )
+        if component < 0:
+            raise AddressError(f"address component {component} is negative")
+        out.append(component)
+    return tuple(out)
+
+
+class Prefix:
+    """A partial address ``x(1). ... .x(i-1)`` denoting a subgroup.
+
+    A prefix of *depth* ``i`` has ``i - 1`` components; the empty prefix
+    has depth 1 and denotes the whole group (the root of the tree).
+
+    Prefixes are immutable and hashable so they can key view tables and
+    subgroup maps.
+    """
+
+    __slots__ = ("_components",)
+
+    def __init__(self, components: Sequence[int] = ()):
+        self._components = _validate_components(components)
+
+    @property
+    def components(self) -> Tuple[int, ...]:
+        """The integer components of this prefix."""
+        return self._components
+
+    @property
+    def depth(self) -> int:
+        """Tree depth denoted by this prefix (empty prefix has depth 1)."""
+        return len(self._components) + 1
+
+    def child(self, component: int) -> "Prefix":
+        """Return the prefix one level deeper obtained by appending ``component``."""
+        return Prefix(self._components + (component,))
+
+    def parent(self) -> "Prefix":
+        """Return the prefix one level shallower.
+
+        Raises:
+            AddressError: if this is the empty (root) prefix.
+        """
+        if not self._components:
+            raise AddressError("the empty prefix has no parent")
+        return Prefix(self._components[:-1])
+
+    def is_prefix_of(self, address: "Address") -> bool:
+        """True if ``address`` starts with this prefix's components."""
+        return address.components[: len(self._components)] == self._components
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse a dotted string such as ``"128.178"`` into a prefix.
+
+        The empty string parses to the empty (root) prefix.
+        """
+        if text == "":
+            return cls(())
+        try:
+            components = tuple(int(part) for part in text.split("."))
+        except ValueError as exc:
+            raise AddressError(f"cannot parse prefix {text!r}") from exc
+        return cls(components)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self._components == other._components
+
+    def __lt__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self._components < other._components
+
+    def __hash__(self) -> int:
+        return hash(("Prefix", self._components))
+
+    def __repr__(self) -> str:
+        return f"Prefix({'.'.join(str(c) for c in self._components)!r})"
+
+    def __str__(self) -> str:
+        return ".".join(str(c) for c in self._components)
+
+
+class Address:
+    """A full process address ``x(1). ... .x(d)``.
+
+    Addresses are immutable, hashable, and ordered lexicographically by
+    components.  Two addresses in the same group must have the same
+    number of components ``d`` (enforced by
+    :class:`repro.addressing.space.AddressSpace`, not by this class, so
+    that the class can also represent free-standing IP-like addresses).
+    """
+
+    __slots__ = ("_components",)
+
+    def __init__(self, components: Sequence[int]):
+        parts = _validate_components(components)
+        if not parts:
+            raise AddressError("an address needs at least one component")
+        self._components = parts
+
+    @property
+    def components(self) -> Tuple[int, ...]:
+        """The integer components of this address."""
+        return self._components
+
+    @property
+    def depth(self) -> int:
+        """The number of components ``d``."""
+        return len(self._components)
+
+    def prefix(self, depth: int) -> Prefix:
+        """Return this address's prefix of the given tree ``depth``.
+
+        A prefix of depth ``i`` consists of the first ``i - 1``
+        components; ``prefix(1)`` is the empty prefix and
+        ``prefix(d)`` drops only the last component.
+
+        Raises:
+            AddressError: if ``depth`` is not in ``[1, d]``.
+        """
+        if not 1 <= depth <= self.depth:
+            raise AddressError(
+                f"prefix depth {depth} out of range [1, {self.depth}]"
+            )
+        return Prefix(self._components[: depth - 1])
+
+    def prefixes(self) -> Iterator[Prefix]:
+        """Yield all prefixes of this address from depth 1 to depth d."""
+        for depth in range(1, self.depth + 1):
+            yield self.prefix(depth)
+
+    def component(self, index: int) -> int:
+        """Return component ``x(index)`` using the paper's 1-based indexing."""
+        if not 1 <= index <= self.depth:
+            raise AddressError(
+                f"component index {index} out of range [1, {self.depth}]"
+            )
+        return self._components[index - 1]
+
+    def longest_common_prefix(self, other: "Address") -> Prefix:
+        """Return the longest prefix shared with ``other``."""
+        shared = []
+        for mine, theirs in zip(self._components, other._components):
+            if mine != theirs:
+                break
+            shared.append(mine)
+        # A full address is not a prefix: a prefix has at most d - 1
+        # components, so two equal addresses share the depth-d prefix.
+        max_len = min(self.depth, other.depth) - 1
+        return Prefix(shared[:max_len] if len(shared) > max_len else shared)
+
+    @classmethod
+    def parse(cls, text: str) -> "Address":
+        """Parse a dotted string such as ``"128.178.73.3"``."""
+        try:
+            components = tuple(int(part) for part in text.split("."))
+        except ValueError as exc:
+            raise AddressError(f"cannot parse address {text!r}") from exc
+        return cls(components)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Address):
+            return NotImplemented
+        return self._components == other._components
+
+    def __lt__(self, other: "Address") -> bool:
+        if not isinstance(other, Address):
+            return NotImplemented
+        return self._components < other._components
+
+    def __le__(self, other: "Address") -> bool:
+        if not isinstance(other, Address):
+            return NotImplemented
+        return self._components <= other._components
+
+    def __gt__(self, other: "Address") -> bool:
+        if not isinstance(other, Address):
+            return NotImplemented
+        return self._components > other._components
+
+    def __ge__(self, other: "Address") -> bool:
+        if not isinstance(other, Address):
+            return NotImplemented
+        return self._components >= other._components
+
+    def __hash__(self) -> int:
+        return hash(("Address", self._components))
+
+    def __repr__(self) -> str:
+        return f"Address({'.'.join(str(c) for c in self._components)!r})"
+
+    def __str__(self) -> str:
+        return ".".join(str(c) for c in self._components)

@@ -1,0 +1,94 @@
+"""Reliability *distributions* from Eqs 16–17 (not just expectations).
+
+Eq 18 gives the expected number of infected processes; the underlying
+recursion (Eqs 16–17) carries the full distribution of infected
+entities per depth.  Composing it down to depth ``d`` yields the
+distribution of the number of *delivered interested processes* — from
+which tail probabilities ("with what probability do at least 95 % of
+interested processes deliver?") follow, a far stronger statement than
+the mean reliability degree.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.tree_model import TreeAnalysis, entity_count_distribution
+from repro.errors import AnalysisError
+
+__all__ = [
+    "delivered_count_distribution",
+    "reliability_cdf",
+    "probability_reliability_at_least",
+    "reliability_quantile",
+]
+
+
+def delivered_count_distribution(analysis: TreeAnalysis) -> np.ndarray:
+    """The Eq 16–17 distribution of delivered interested processes.
+
+    Index ``k`` is the probability that exactly ``k`` interested
+    processes end up infected (a depth-``d`` "entity" is a single
+    process).
+    """
+    return entity_count_distribution(analysis, analysis.depth)
+
+
+def _expected_interested(analysis: TreeAnalysis) -> float:
+    return analysis.group_size * analysis.matching_rate
+
+
+def reliability_cdf(
+    analysis: TreeAnalysis,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(fractions, P[reliability <= fraction])`` over delivered counts.
+
+    Fractions are delivered counts divided by the expected interested
+    population ``n p_d`` (clamped to 1), matching how the paper's
+    reliability degree normalizes Eq 18.
+    """
+    distribution = delivered_count_distribution(analysis)
+    interested = max(_expected_interested(analysis), 1.0)
+    fractions = np.minimum(
+        np.arange(len(distribution)) / interested, 1.0
+    )
+    return fractions, np.cumsum(distribution)
+
+
+def probability_reliability_at_least(
+    analysis: TreeAnalysis, fraction: float
+) -> float:
+    """``P[delivered / (n p_d) >= fraction]``.
+
+    Args:
+        analysis: a :func:`~repro.analysis.tree_model.analyze_tree`
+            result.
+        fraction: the reliability level of interest, in [0, 1].
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise AnalysisError(f"fraction {fraction} not in [0, 1]")
+    distribution = delivered_count_distribution(analysis)
+    interested = max(_expected_interested(analysis), 1.0)
+    threshold = fraction * interested
+    counts = np.arange(len(distribution))
+    return float(distribution[counts >= threshold].sum())
+
+
+def reliability_quantile(analysis: TreeAnalysis, quantile: float) -> float:
+    """The reliability fraction achieved with probability ``quantile``.
+
+    Returns the largest fraction ``x`` with
+    ``P[reliability >= x] >= quantile`` — e.g. ``quantile = 0.9`` asks
+    what reliability at least 90 % of runs reach.
+    """
+    if not 0.0 < quantile <= 1.0:
+        raise AnalysisError(f"quantile {quantile} not in (0, 1]")
+    fractions, cdf = reliability_cdf(analysis)
+    # P[reliability >= fractions[k]] = 1 - cdf[k-1]
+    tail = np.concatenate(([1.0], 1.0 - cdf[:-1]))
+    satisfying = fractions[tail >= quantile]
+    if satisfying.size == 0:
+        return 0.0
+    return float(satisfying.max())

@@ -1,0 +1,61 @@
+"""Round-count estimates: Eq 3, Eq 11 and Eq 13 in one place.
+
+The raw asymptote lives in :mod:`repro.core.rounds` because the
+algorithm itself needs it (Figure 3 line 7); this module re-exports it
+for analysis users and adds the tree total of Eq 13.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.tree_model import (
+    regular_view_size,
+    subgroup_interest_probability,
+)
+from repro.core.rounds import loss_adjusted_rounds, pittel_rounds, round_bound
+from repro.errors import AnalysisError
+
+__all__ = [
+    "pittel_rounds",
+    "loss_adjusted_rounds",
+    "round_bound",
+    "tree_total_rounds",
+]
+
+
+def tree_total_rounds(
+    matching_rate: float,
+    arity: int,
+    depth: int,
+    redundancy: int,
+    fanout: int,
+    loss_probability: float = 0.0,
+    crash_fraction: float = 0.0,
+    pittel_c: float = 0.0,
+) -> Tuple[float, List[float]]:
+    """Eq 13: ``T_tot = sum_i T_f(m_i p_i, F p_i)``.
+
+    Returns the (real-valued) total and the per-depth estimates.  The
+    paper notes this is pessimistic — every subgroup except the topmost
+    actually starts with up to R infected delegates — and shows the
+    tree does not materially change the round count versus a flat
+    group; the test suite checks both observations against this
+    implementation.
+    """
+    if depth < 1:
+        raise AnalysisError(f"depth {depth} must be >= 1")
+    per_depth: List[float] = []
+    for level in range(1, depth + 1):
+        p_i = subgroup_interest_probability(matching_rate, arity, depth, level)
+        m_i = regular_view_size(arity, depth, redundancy, level)
+        per_depth.append(
+            loss_adjusted_rounds(
+                m_i * p_i,
+                fanout * p_i,
+                loss_probability,
+                crash_fraction,
+                pittel_c,
+            )
+        )
+    return sum(per_depth), per_depth

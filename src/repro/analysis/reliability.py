@@ -1,0 +1,117 @@
+"""Reliability and overhead estimates derived from the tree model.
+
+:func:`delivery_probability` is the analytical counterpart of Figure 4
+(and, with a tuning threshold, of Figure 7's "Improved" curve);
+:func:`false_reception_estimate` approximates Figure 5 — the expected
+fraction of uninterested processes that receive the event because they
+serve as delegates of interested subtrees.
+
+The false-reception estimate is an upper-bound style approximation: it
+counts, per depth, the delegates of infected entities that are not
+themselves interested, ignoring the overlap of a delegate serving at
+several depths (the paper measures this quantity by simulation only;
+DESIGN.md records the substitution).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.tree_model import TreeAnalysis, analyze_tree
+from repro.errors import AnalysisError
+
+__all__ = [
+    "delivery_probability",
+    "false_reception_estimate",
+]
+
+
+def delivery_probability(
+    matching_rate: float,
+    arity: int,
+    depth: int,
+    redundancy: int,
+    fanout: int,
+    loss_probability: float = 0.0,
+    crash_fraction: float = 0.0,
+    pittel_c: float = 0.0,
+    threshold_h: int = 0,
+    analysis: Optional[TreeAnalysis] = None,
+) -> float:
+    """Eq 18's reliability degree: P[an interested process delivers]."""
+    if analysis is None:
+        analysis = analyze_tree(
+            matching_rate,
+            arity,
+            depth,
+            redundancy,
+            fanout,
+            loss_probability,
+            crash_fraction,
+            pittel_c,
+            threshold_h=threshold_h,
+        )
+    return analysis.reliability_degree
+
+
+def false_reception_estimate(
+    matching_rate: float,
+    arity: int,
+    depth: int,
+    redundancy: int,
+    fanout: int,
+    loss_probability: float = 0.0,
+    crash_fraction: float = 0.0,
+    pittel_c: float = 0.0,
+    threshold_h: int = 0,
+) -> float:
+    """Approximate P[an uninterested process receives the event].
+
+    At each depth ``i < d`` the infected entities are sets of R
+    delegates; each delegate is uninterested with probability
+    ``1 - p_d``.  With the §5.3 tuning, conscripted audience members at
+    each depth add ``max(h - m_i p_i, 0)`` expected uninterested
+    receivers per infected subgroup.  The estimate sums these depth
+    contributions and divides by the ``n (1 - p_d)`` expected
+    uninterested processes.
+    """
+    if not 0.0 <= matching_rate <= 1.0:
+        raise AnalysisError(f"matching rate {matching_rate} not in [0, 1]")
+    analysis = analyze_tree(
+        matching_rate,
+        arity,
+        depth,
+        redundancy,
+        fanout,
+        loss_probability,
+        crash_fraction,
+        pittel_c,
+        threshold_h=threshold_h,
+    )
+    n = arity ** depth
+    uninterested = n * (1.0 - matching_rate)
+    if uninterested <= 0.0:
+        return 0.0
+    receivers = 0.0
+    for level in range(1, depth):
+        # E[g_i] infected entities at depth i, R delegates each, each
+        # uninterested with probability (1 - p_d).
+        entities = analysis.expected_entities[level - 1]
+        fraction_reached = analysis.expected_infected_per_depth[level - 1]
+        m_i = analysis.view_sizes[level - 1]
+        p_i = analysis.interest_probabilities[level - 1]
+        susceptible = max(m_i * p_i, 1.0)
+        reach = min(fraction_reached / susceptible, 1.0)
+        receivers += entities * redundancy * (1.0 - matching_rate) * reach
+        if threshold_h > 0:
+            conscripts = max(threshold_h - m_i * p_i, 0.0)
+            receivers += entities / max(arity * p_i, 1.0) * conscripts * reach
+    if threshold_h > 0:
+        # Leaf-depth conscripts: uninterested neighbors gossiped to
+        # because the leaf view held fewer than h interested entries.
+        m_d = analysis.view_sizes[-1]
+        p_d_level = analysis.interest_probabilities[-1]
+        conscripts = max(threshold_h - m_d * p_d_level, 0.0)
+        leaf_groups = analysis.expected_entities[-2] if depth > 1 else 1.0
+        receivers += leaf_groups * conscripts
+    return min(receivers / uninterested, 1.0)

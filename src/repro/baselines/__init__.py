@@ -1,0 +1,28 @@
+"""The three §1 alternatives pmcast is evaluated against.
+
+* :func:`flat_gossip_broadcast` — pbcast-style flood + filter at
+  delivery (reliable, but everyone receives everything);
+* :func:`flat_genuine_multicast` — filter-before-gossip with global
+  subscription knowledge (no false receptions, unrealistic knowledge);
+* :func:`build_genuine_group` — genuine filtering on the pmcast tree
+  (realistic knowledge, but interested processes get isolated behind
+  uninterested delegates);
+* :class:`BroadcastGroupMapper` — per-destination-subset broadcast
+  groups (perfect targeting, up to 2^n groups and global knowledge).
+"""
+
+from repro.baselines.flat import (
+    FLAT_MAX_ROUND_BOUND,
+    flat_genuine_multicast,
+    flat_gossip_broadcast,
+)
+from repro.baselines.genuine import build_genuine_group
+from repro.baselines.groups import BroadcastGroupMapper
+
+__all__ = [
+    "flat_gossip_broadcast",
+    "flat_genuine_multicast",
+    "build_genuine_group",
+    "BroadcastGroupMapper",
+    "FLAT_MAX_ROUND_BOUND",
+]

@@ -1,0 +1,225 @@
+"""Flat gossip baselines: broadcast-and-filter vs genuine multicast.
+
+The paper's introduction motivates pmcast against two flat designs:
+
+* **Flood broadcast** (pbcast-style): every process knows the whole
+  group and gossips every event to random members regardless of
+  interest; filtering happens at delivery.  Reliability is excellent,
+  but every uninterested process receives (almost) every event and
+  each process carries O(n) membership — the two costs pmcast removes.
+
+* **Flat genuine multicast**: same global knowledge, including every
+  process's precise interests, but gossip targets only interested
+  processes.  With *full* knowledge this works (the paper calls the
+  required assumption "rather unrealistic"); its cost is exactly that
+  global subscription knowledge — n-1 entries per process versus
+  pmcast's R·a·(d-1)+a, the comparison the baselines bench tabulates.
+  The tree variant that breaks without global knowledge lives in
+  :mod:`repro.baselines.genuine`.
+
+Both run under the same round-synchronous loss/crash model as pmcast
+so that reports are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.addressing import Address, distance
+from repro.config import SimConfig
+from repro.core.rounds import pittel_rounds, round_bound
+from repro.errors import SimulationError
+from repro.interests.events import Event
+from repro.interests.subscriptions import Interest
+from repro.sim.crashes import CrashSchedule
+from repro.sim.metrics import DisseminationReport
+from repro.sim.rng import derive_rng
+
+__all__ = ["flat_gossip_broadcast", "flat_genuine_multicast", "FLAT_MAX_ROUND_BOUND"]
+
+# Flat groups are large (the whole n), so allow the Pittel bound room.
+FLAT_MAX_ROUND_BOUND = 128
+
+
+def _run_flat(
+    members: Mapping[Address, Interest],
+    publisher: Address,
+    event: Event,
+    fanout: int,
+    sim_config: SimConfig,
+    restrict_to_interested: bool,
+    crash_schedule: Optional[CrashSchedule],
+) -> DisseminationReport:
+    if publisher not in members:
+        raise SimulationError(f"publisher {publisher} is not a member")
+    if fanout < 1:
+        raise SimulationError(f"fanout {fanout} must be >= 1")
+
+    addresses = sorted(members)
+    interested = {
+        address
+        for address in addresses
+        if members[address].matches(event)
+    }
+    if restrict_to_interested:
+        # Genuine multicast: the run involves only interested processes
+        # (plus the publisher, who always knows what it published).
+        population = sorted(interested | {publisher})
+        bound = round_bound(
+            pittel_rounds(len(interested), fanout),
+            maximum=FLAT_MAX_ROUND_BOUND,
+        )
+    else:
+        population = addresses
+        bound = round_bound(
+            pittel_rounds(len(addresses), fanout),
+            maximum=FLAT_MAX_ROUND_BOUND,
+        )
+
+    loss_rng = derive_rng(sim_config.seed, "flat-network", event.event_id)
+    gossip_rng = derive_rng(sim_config.seed, "flat-gossip", event.event_id)
+    if crash_schedule is None:
+        crash_schedule = CrashSchedule.sample(
+            addresses,
+            sim_config.crash_fraction,
+            horizon=max(bound, 1),
+            rng=derive_rng(sim_config.seed, "flat-crash", event.event_id),
+        )
+
+    tree_depth = publisher.depth
+    messages_by_distance = [0] * tree_depth
+    # rounds_left[address] = gossip budget; present only once infected.
+    rounds_left: Dict[Address, int] = {publisher: bound}
+    infected: Set[Address] = {publisher}
+    dead: Set[Address] = set()
+    messages_sent = 0
+    messages_lost = 0
+    duplicate_receptions = 0
+    infection_curve: List[int] = []
+    rounds = 0
+
+    targets = [
+        address for address in population if address != publisher
+    ] if restrict_to_interested else [a for a in addresses]
+
+    for round_index in range(sim_config.max_rounds):
+        for victim in crash_schedule.crashes_at(round_index):
+            dead.add(victim)
+            rounds_left.pop(victim, None)
+        senders = [
+            address
+            for address, budget in rounds_left.items()
+            if budget > 0 and address not in dead
+        ]
+        if not senders:
+            break
+        rounds = round_index + 1
+        arrivals: List[Address] = []
+        for sender in senders:
+            rounds_left[sender] -= 1
+            if len(targets) <= 1 and targets == [sender]:
+                continue
+            # Draw one extra candidate so a self-hit can be discarded
+            # without copying the whole target list per sender.
+            drawn = gossip_rng.sample(
+                targets, min(fanout + 1, len(targets))
+            )
+            picks = [t for t in drawn if t != sender][:fanout]
+            for destination in picks:
+                messages_sent += 1
+                hops = distance(sender, destination)
+                messages_by_distance[max(hops, 1) - 1] += 1
+                if (
+                    sim_config.loss_probability > 0.0
+                    and loss_rng.random() < sim_config.loss_probability
+                ):
+                    messages_lost += 1
+                    continue
+                if destination in dead:
+                    messages_lost += 1
+                    continue
+                arrivals.append(destination)
+        for destination in arrivals:
+            if destination in infected:
+                duplicate_receptions += 1
+            else:
+                infected.add(destination)
+                rounds_left[destination] = bound
+        infection_curve.append(len(infected))
+
+    uninterested = [
+        address
+        for address in addresses
+        if address not in interested and address != publisher
+    ]
+    return DisseminationReport(
+        group_size=len(addresses),
+        interested=len(interested),
+        uninterested=len(uninterested),
+        delivered_interested=sum(
+            1 for address in interested if address in infected
+        ),
+        received_uninterested=sum(
+            1 for address in uninterested if address in infected
+        ),
+        received_total=len(infected),
+        crashed=crash_schedule.victim_count,
+        rounds=rounds,
+        messages_sent=messages_sent,
+        messages_lost=messages_lost,
+        duplicate_receptions=duplicate_receptions,
+        infection_curve=tuple(infection_curve),
+        messages_by_distance=tuple(messages_by_distance),
+    )
+
+
+def flat_gossip_broadcast(
+    members: Mapping[Address, Interest],
+    publisher: Address,
+    event: Event,
+    fanout: int = 2,
+    sim_config: Optional[SimConfig] = None,
+    crash_schedule: Optional[CrashSchedule] = None,
+) -> DisseminationReport:
+    """pbcast-style broadcast: gossip to anyone, filter at delivery.
+
+    Each process, once infected, gossips the event to ``fanout``
+    uniformly random group members for ``T(n, F)`` rounds.  Every
+    process — interested or not — is a gossip target, which is exactly
+    the flooding cost the paper's Figure 5 contrasts pmcast against.
+    """
+    return _run_flat(
+        members,
+        publisher,
+        event,
+        fanout,
+        sim_config or SimConfig(),
+        restrict_to_interested=False,
+        crash_schedule=crash_schedule,
+    )
+
+
+def flat_genuine_multicast(
+    members: Mapping[Address, Interest],
+    publisher: Address,
+    event: Event,
+    fanout: int = 2,
+    sim_config: Optional[SimConfig] = None,
+    crash_schedule: Optional[CrashSchedule] = None,
+) -> DisseminationReport:
+    """Genuine multicast with (unrealistic) global subscription knowledge.
+
+    Gossip targets are drawn only from the processes interested in the
+    event, so no uninterested process ever receives it — at the price
+    of every process knowing "every other process and also its precise
+    interests" (§1), i.e. O(n) membership and subscription state.
+    """
+    return _run_flat(
+        members,
+        publisher,
+        event,
+        fanout,
+        sim_config or SimConfig(),
+        restrict_to_interested=True,
+        crash_schedule=crash_schedule,
+    )

@@ -1,0 +1,27 @@
+"""Figure-regeneration harnesses and their CLI.
+
+``python -m repro.bench --figure 4`` (etc.) regenerates the paper's
+evaluation figures; the :mod:`repro.bench.figures` functions are also
+what the pytest benchmarks call at reduced scale.
+"""
+
+from repro.bench.figures import (
+    DEFAULT_RATES,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    reliability_sweep,
+)
+from repro.bench.series import FigureResult, Series
+
+__all__ = [
+    "DEFAULT_RATES",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "reliability_sweep",
+    "FigureResult",
+    "Series",
+]

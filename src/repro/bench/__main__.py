@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` dispatches to :func:`repro.bench.cli.main`."""
+
+import sys
+
+from repro.bench.cli import main
+
+sys.exit(main())

@@ -1,0 +1,147 @@
+"""Command-line figure regeneration: ``python -m repro.bench``.
+
+Examples::
+
+    python -m repro.bench --figure 4
+    python -m repro.bench --figure 6 --trials 2
+    python -m repro.bench --all --arity 10 --trials 2   # quick pass
+
+``--arity``/``--trials`` shrink the experiment for quick sanity runs;
+defaults regenerate the paper-scale figures (n ≈ 10 000 — expect a few
+minutes per figure on a laptop).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.bench import figures
+from repro.bench.extras import baselines_experiment, locality_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the figures of 'Probabilistic Multicast' "
+        "(Eugster & Guerraoui, DSN 2002).",
+    )
+    parser.add_argument(
+        "--figure",
+        type=int,
+        choices=(4, 5, 6, 7),
+        action="append",
+        help="figure number to regenerate (repeatable)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="regenerate every figure"
+    )
+    parser.add_argument(
+        "--experiment",
+        choices=("locality", "baselines"),
+        action="append",
+        help="run an extra (non-figure) experiment (repeatable)",
+    )
+    parser.add_argument(
+        "--arity",
+        type=int,
+        default=None,
+        help="override the subgroup arity a (default: paper scale)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="override the number of trials per point",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master seed (default 0)"
+    )
+    parser.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="message loss probability epsilon (default 0)",
+    )
+    parser.add_argument(
+        "--crash",
+        type=float,
+        default=0.0,
+        help="crash fraction tau (default 0)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=int,
+        default=12,
+        help="tuning threshold h for figure 7 (default 12)",
+    )
+    return parser
+
+
+def _run_figure(number: int, args: argparse.Namespace) -> str:
+    common = {
+        "trials": args.trials,
+        "seed": args.seed,
+        "loss_probability": args.loss,
+        "crash_fraction": args.crash,
+    }
+    common = {key: value for key, value in common.items() if value is not None}
+    if number == 4:
+        if args.arity is not None:
+            common["arity"] = args.arity
+        return figures.figure4(**common).render()
+    if number == 5:
+        if args.arity is not None:
+            common["arity"] = args.arity
+        return figures.figure5(**common).render()
+    if number == 6:
+        if args.arity is not None:
+            common["arities"] = (args.arity,)
+        return figures.figure6(**common).render()
+    if number == 7:
+        if args.arity is not None:
+            common["arity"] = args.arity
+        common["threshold_h"] = args.threshold
+        return figures.figure7(**common).render()
+    raise ValueError(f"unknown figure {number}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    numbers: List[int] = []
+    if args.all:
+        numbers = [4, 5, 6, 7]
+    elif args.figure:
+        numbers = sorted(set(args.figure))
+    elif not args.experiment:
+        parser.error(
+            "pass --figure N (repeatable), --experiment NAME or --all"
+        )
+    for number in numbers:
+        started = time.time()
+        print(_run_figure(number, args))
+        print(f"[figure {number} regenerated in {time.time() - started:.1f}s]")
+        print()
+    for name in args.experiment or ():
+        started = time.time()
+        kwargs = {"seed": args.seed}
+        if args.arity is not None:
+            kwargs["arity"] = args.arity
+        runner = {
+            "locality": locality_experiment,
+            "baselines": baselines_experiment,
+        }[name]
+        print(runner(**kwargs).render())
+        print(f"[experiment {name} ran in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

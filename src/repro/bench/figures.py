@@ -1,0 +1,444 @@
+"""Regeneration harnesses for every figure of the paper's evaluation (§5).
+
+Each ``figure*`` function re-runs the corresponding experiment — same
+parameters as the caption, simulation plus (where the paper's analysis
+applies) the analytical counterpart — and returns a
+:class:`~repro.bench.series.FigureResult` whose rendered table is the
+figure's data series.
+
+All functions accept a ``scale``-style override (smaller ``arity`` /
+``trials``) so the pytest benchmarks can exercise the identical code
+path at CI-friendly sizes; the defaults reproduce the paper's captions:
+
+* Figure 4/5/7 — n ≈ 10 000 (a = 22, d = 3), R = 3, F = 2;
+* Figure 6 — d = 3, R = 4, F = 3, subgroup sizes a in [10, 40].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.addressing import AddressSpace
+from repro.analysis import delivery_probability, false_reception_estimate
+from repro.bench.series import FigureResult, Series
+from repro.config import PmcastConfig, SimConfig
+from repro.errors import ReproError
+from repro.interests.events import Event
+from repro.sim import (
+    CrashSchedule,
+    PmcastGroup,
+    bernoulli_interests,
+    derive_rng,
+    run_dissemination,
+)
+
+__all__ = [
+    "DEFAULT_RATES",
+    "reliability_sweep",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+]
+
+DEFAULT_RATES: Tuple[float, ...] = (
+    0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+
+
+def reliability_sweep(
+    matching_rates: Sequence[float],
+    arity: int,
+    depth: int,
+    redundancy: int,
+    fanout: int,
+    trials: int,
+    seed: int = 0,
+    loss_probability: float = 0.0,
+    crash_fraction: float = 0.0,
+    threshold_h: int = 0,
+) -> List[Dict[str, float]]:
+    """One row per matching rate: mean delivery / false-reception etc.
+
+    For every ``p_d`` the sweep builds ``trials`` independent groups
+    (fresh Bernoulli interest assignment each), multicasts one event
+    from a random member, and averages the
+    :class:`~repro.sim.metrics.DisseminationReport` metrics.
+    """
+    if trials < 1:
+        raise ReproError(f"trials {trials} must be >= 1")
+    space = AddressSpace.regular(arity, depth)
+    addresses = space.enumerate_regular(arity)
+    config = PmcastConfig(
+        fanout=fanout, redundancy=redundancy, threshold_h=threshold_h
+    )
+    rows: List[Dict[str, float]] = []
+    for rate in matching_rates:
+        delivery = 0.0
+        false_reception = 0.0
+        rounds = 0.0
+        messages = 0.0
+        for trial in range(trials):
+            interest_rng = derive_rng(seed, "interests", rate, trial)
+            members = bernoulli_interests(addresses, rate, interest_rng)
+            group = PmcastGroup.build(members, config)
+            publisher = interest_rng.choice(addresses)
+            # A deterministic event id keeps the derived loss/gossip
+            # streams — and therefore the whole sweep — reproducible.
+            event = Event(
+                {"sweep": 1},
+                event_id=derive_rng(seed, "event", rate, trial).randrange(
+                    2**31
+                ),
+            )
+            sim = SimConfig(
+                loss_probability=loss_probability,
+                crash_fraction=0.0,
+                seed=derive_rng(seed, "sim", rate, trial).randrange(2**31),
+            )
+            schedule = CrashSchedule.sample(
+                addresses,
+                crash_fraction,
+                horizon=32,
+                rng=derive_rng(seed, "crash", rate, trial),
+            )
+            report = run_dissemination(
+                group, publisher, event, sim, crash_schedule=schedule
+            )
+            delivery += report.delivery_ratio
+            false_reception += report.false_reception_ratio
+            rounds += report.rounds
+            messages += report.messages_sent
+        rows.append(
+            {
+                "matching_rate": rate,
+                "delivery": delivery / trials,
+                "false_reception": false_reception / trials,
+                "rounds": rounds / trials,
+                "messages": messages / trials,
+            }
+        )
+    return rows
+
+
+def figure4(
+    arity: int = 22,
+    depth: int = 3,
+    redundancy: int = 3,
+    fanout: int = 2,
+    matching_rates: Sequence[float] = DEFAULT_RATES,
+    trials: int = 5,
+    seed: int = 0,
+    loss_probability: float = 0.0,
+    crash_fraction: float = 0.0,
+) -> FigureResult:
+    """Figure 4 — P(delivery) for interested processes vs p_d.
+
+    Caption parameters: n ≈ 10 000 (a = 22), d = 3, R = 3, F = 2.
+    Expected shape: near 1 for large p_d, drooping for small p_d
+    (Pittel's asymptote under-estimates rounds for small audiences).
+    """
+    rows = reliability_sweep(
+        matching_rates,
+        arity,
+        depth,
+        redundancy,
+        fanout,
+        trials,
+        seed,
+        loss_probability,
+        crash_fraction,
+    )
+    result = FigureResult(
+        figure="Figure 4",
+        title="Infected Interested Processes",
+        x_label="p_d",
+        y_label="Probability of Delivery",
+        parameters={
+            "n": arity ** depth,
+            "a": arity,
+            "d": depth,
+            "R": redundancy,
+            "F": fanout,
+            "trials": trials,
+            "loss": loss_probability,
+            "crash": crash_fraction,
+        },
+    )
+    result.add_series(
+        Series.from_pairs(
+            "simulated",
+            [(row["matching_rate"], row["delivery"]) for row in rows],
+        )
+    )
+    result.add_series(
+        Series.from_pairs(
+            "analysis",
+            [
+                (
+                    rate,
+                    delivery_probability(
+                        rate,
+                        arity,
+                        depth,
+                        redundancy,
+                        fanout,
+                        loss_probability,
+                        crash_fraction,
+                    ),
+                )
+                for rate in matching_rates
+            ],
+        )
+    )
+    result.notes.append(
+        "paper shape: ~1.0 for p_d >~ 0.3, degrading toward ~0.2-0.4 as "
+        "p_d -> 1/n (the §5.1 small-rate breakdown)."
+    )
+    return result
+
+
+def figure5(
+    arity: int = 22,
+    depth: int = 3,
+    redundancy: int = 3,
+    fanout: int = 2,
+    matching_rates: Sequence[float] = DEFAULT_RATES,
+    trials: int = 5,
+    seed: int = 0,
+    loss_probability: float = 0.0,
+    crash_fraction: float = 0.0,
+) -> FigureResult:
+    """Figure 5 — P(reception) for uninterested processes vs p_d.
+
+    Same caption parameters as Figure 4.  Expected shape: bounded by
+    ~0.12, humped at small-to-moderate p_d, tending to 0 as p_d -> 1.
+    """
+    rows = reliability_sweep(
+        matching_rates,
+        arity,
+        depth,
+        redundancy,
+        fanout,
+        trials,
+        seed,
+        loss_probability,
+        crash_fraction,
+    )
+    result = FigureResult(
+        figure="Figure 5",
+        title="Infected Uninterested Processes",
+        x_label="p_d",
+        y_label="Probability of Reception",
+        parameters={
+            "n": arity ** depth,
+            "a": arity,
+            "d": depth,
+            "R": redundancy,
+            "F": fanout,
+            "trials": trials,
+        },
+    )
+    result.add_series(
+        Series.from_pairs(
+            "simulated",
+            [(row["matching_rate"], row["false_reception"]) for row in rows],
+        )
+    )
+    result.add_series(
+        Series.from_pairs(
+            "analysis",
+            [
+                (
+                    rate,
+                    false_reception_estimate(
+                        rate,
+                        arity,
+                        depth,
+                        redundancy,
+                        fanout,
+                        loss_probability,
+                        crash_fraction,
+                    ),
+                )
+                for rate in matching_rates
+            ],
+        )
+    )
+    result.notes.append(
+        "paper shape: below ~0.12 throughout, peaking at moderate p_d and "
+        "vanishing as p_d -> 1 (delegates are then interested themselves)."
+    )
+    return result
+
+
+def figure6(
+    arities: Sequence[int] = (10, 16, 22, 28, 34, 40),
+    depth: int = 3,
+    redundancy: int = 4,
+    fanout: int = 3,
+    matching_rates: Sequence[float] = (0.5, 0.2),
+    trials: int = 3,
+    seed: int = 0,
+    loss_probability: float = 0.0,
+    crash_fraction: float = 0.0,
+) -> FigureResult:
+    """Figure 6 — scalability: P(delivery) vs subgroup size a.
+
+    Caption parameters: d = 3, R = 4, F = 3; series for matching rates
+    0.5 and 0.2.  Expected shape: >= ~0.9 everywhere, roughly flat or
+    improving with a; the 0.2 series below the 0.5 series.
+    """
+    result = FigureResult(
+        figure="Figure 6",
+        title="Scalability",
+        x_label="a",
+        y_label="Probability of Delivery",
+        parameters={
+            "d": depth,
+            "R": redundancy,
+            "F": fanout,
+            "trials": trials,
+            "n": f"a^{depth}",
+        },
+    )
+    for rate in matching_rates:
+        points = []
+        for arity in arities:
+            rows = reliability_sweep(
+                [rate],
+                arity,
+                depth,
+                redundancy,
+                fanout,
+                trials,
+                seed,
+                loss_probability,
+                crash_fraction,
+            )
+            points.append((float(arity), rows[0]["delivery"]))
+        result.add_series(
+            Series.from_pairs(f"Matching Rate {rate}", points)
+        )
+    for rate in matching_rates:
+        result.add_series(
+            Series.from_pairs(
+                f"analysis {rate}",
+                [
+                    (
+                        float(arity),
+                        delivery_probability(
+                            rate,
+                            arity,
+                            depth,
+                            redundancy,
+                            fanout,
+                            loss_probability,
+                            crash_fraction,
+                        ),
+                    )
+                    for arity in arities
+                ],
+            )
+        )
+    result.notes.append(
+        "paper shape: delivery >= 0.9 across a in [10, 40]; the 0.2 curve "
+        "sits below the 0.5 curve."
+    )
+    return result
+
+
+def figure7(
+    arity: int = 22,
+    depth: int = 3,
+    redundancy: int = 3,
+    fanout: int = 2,
+    matching_rates: Sequence[float] = DEFAULT_RATES,
+    trials: int = 5,
+    threshold_h: int = 12,
+    seed: int = 0,
+    loss_probability: float = 0.0,
+    crash_fraction: float = 0.0,
+) -> FigureResult:
+    """Figure 7 — tuned (threshold h) vs untuned delivery vs p_d.
+
+    Same caption parameters as Figure 4.  Expected shape: the improved
+    curve lifts the small-p_d region toward 1 and coincides with the
+    original curve for large p_d; the compromise (more uninterested
+    receivers, cf. Figure 5) is reported as extra columns.
+    """
+    original = reliability_sweep(
+        matching_rates,
+        arity,
+        depth,
+        redundancy,
+        fanout,
+        trials,
+        seed,
+        loss_probability,
+        crash_fraction,
+        threshold_h=0,
+    )
+    improved = reliability_sweep(
+        matching_rates,
+        arity,
+        depth,
+        redundancy,
+        fanout,
+        trials,
+        seed,
+        loss_probability,
+        crash_fraction,
+        threshold_h=threshold_h,
+    )
+    result = FigureResult(
+        figure="Figure 7",
+        title="Tuned vs Untuned Algorithm",
+        x_label="p_d",
+        y_label="Probability of Delivery",
+        parameters={
+            "n": arity ** depth,
+            "a": arity,
+            "d": depth,
+            "R": redundancy,
+            "F": fanout,
+            "h": threshold_h,
+            "trials": trials,
+        },
+    )
+    result.add_series(
+        Series.from_pairs(
+            "Original",
+            [(row["matching_rate"], row["delivery"]) for row in original],
+        )
+    )
+    result.add_series(
+        Series.from_pairs(
+            "Improved",
+            [(row["matching_rate"], row["delivery"]) for row in improved],
+        )
+    )
+    result.add_series(
+        Series.from_pairs(
+            "Original false-reception",
+            [
+                (row["matching_rate"], row["false_reception"])
+                for row in original
+            ],
+        )
+    )
+    result.add_series(
+        Series.from_pairs(
+            "Improved false-reception",
+            [
+                (row["matching_rate"], row["false_reception"])
+                for row in improved
+            ],
+        )
+    )
+    result.notes.append(
+        "paper shape: Improved >= Original everywhere, with the gap "
+        "concentrated at small p_d; tuning raises the uninterested "
+        "reception rate (the §5.3 compromise)."
+    )
+    return result

@@ -1,0 +1,275 @@
+"""Wire encoding of protocol objects.
+
+The simulator passes Python objects around, but a deployment of pmcast
+sends gossips, view lines and join transfers over sockets.  This module
+defines a stable JSON-compatible encoding for every object that crosses
+a process boundary:
+
+* addresses and prefixes (dotted strings),
+* events (id + attributes),
+* interests — both :class:`~repro.interests.subscriptions.Subscription`
+  (down to interval endpoints, with open/closed ends and infinities)
+  and :class:`~repro.interests.subscriptions.StaticInterest`,
+* gossip messages (Figure 3's ``(event, rate, round, depth)`` plus the
+  sender),
+* view rows and whole view tables (what a gossip-pull reply or a §2.3
+  join transfer carries).
+
+``encode_*`` produce plain dict/list/str/number trees (directly
+``json.dumps``-able); ``decode_*`` invert them exactly.  The test suite
+round-trips randomized instances with hypothesis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Union
+
+from repro.addressing import Address, Prefix
+from repro.core.messages import GossipMessage
+from repro.errors import ProtocolError
+from repro.interests.events import Event
+from repro.interests.intervals import Interval, IntervalSet
+from repro.interests.predicates import Constraint
+from repro.interests.subscriptions import Interest, StaticInterest, Subscription
+from repro.membership.views import ViewRow, ViewTable
+
+__all__ = [
+    "encode_address",
+    "decode_address",
+    "encode_prefix",
+    "decode_prefix",
+    "encode_event",
+    "decode_event",
+    "encode_interest",
+    "decode_interest",
+    "encode_message",
+    "decode_message",
+    "encode_view_row",
+    "decode_view_row",
+    "encode_view_table",
+    "decode_view_table",
+]
+
+Json = Union[None, bool, int, float, str, List["Json"], Dict[str, "Json"]]
+
+
+# -- addresses ----------------------------------------------------------
+
+
+def encode_address(address: Address) -> str:
+    """Dotted string form, e.g. ``"128.178.73.3"``."""
+    return str(address)
+
+
+def decode_address(data: str) -> Address:
+    """Inverse of :func:`encode_address`."""
+    return Address.parse(data)
+
+
+def encode_prefix(prefix: Prefix) -> str:
+    """Dotted string form; the root prefix encodes as ``""``."""
+    return str(prefix)
+
+
+def decode_prefix(data: str) -> Prefix:
+    """Inverse of :func:`encode_prefix`."""
+    return Prefix.parse(data)
+
+
+# -- events ---------------------------------------------------------------
+
+
+def encode_event(event: Event) -> Dict[str, Json]:
+    """``{"id": ..., "attrs": {...}}``."""
+    return {"id": event.event_id, "attrs": dict(event.attributes)}
+
+
+def decode_event(data: Dict[str, Json]) -> Event:
+    """Inverse of :func:`encode_event`."""
+    try:
+        return Event(data["attrs"], event_id=data["id"])
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed event encoding: {data!r}") from exc
+
+
+# -- intervals and constraints ---------------------------------------------
+
+
+def _encode_bound(value: float) -> Json:
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    return value
+
+
+def _decode_bound(data: Json) -> float:
+    if data == "inf":
+        return math.inf
+    if data == "-inf":
+        return -math.inf
+    if isinstance(data, (int, float)) and not isinstance(data, bool):
+        return float(data)
+    raise ProtocolError(f"malformed interval bound: {data!r}")
+
+
+def _encode_interval(interval: Interval) -> List[Json]:
+    return [
+        _encode_bound(interval.lo),
+        _encode_bound(interval.hi),
+        interval.lo_closed,
+        interval.hi_closed,
+    ]
+
+
+def _decode_interval(data: List[Json]) -> Interval:
+    if not isinstance(data, list) or len(data) != 4:
+        raise ProtocolError(f"malformed interval encoding: {data!r}")
+    return Interval(
+        _decode_bound(data[0]),
+        _decode_bound(data[1]),
+        bool(data[2]),
+        bool(data[3]),
+    )
+
+
+def _encode_constraint(constraint: Constraint) -> Dict[str, Json]:
+    strings = constraint.strings
+    return {
+        "numeric": [_encode_interval(iv) for iv in constraint.numeric],
+        "strings": None if strings is None else sorted(strings),
+    }
+
+
+def _decode_constraint(data: Dict[str, Json]) -> Constraint:
+    try:
+        numeric = IntervalSet(
+            _decode_interval(item) for item in data["numeric"]
+        )
+        strings = data["strings"]
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(
+            f"malformed constraint encoding: {data!r}"
+        ) from exc
+    return Constraint(
+        numeric, None if strings is None else frozenset(strings)
+    )
+
+
+# -- interests ---------------------------------------------------------------
+
+
+def encode_interest(interest: Interest) -> Dict[str, Json]:
+    """Tagged encoding of either interest implementation."""
+    if isinstance(interest, StaticInterest):
+        return {"type": "static", "interested": interest.interested}
+    if isinstance(interest, Subscription):
+        return {
+            "type": "subscription",
+            "never": interest.is_nothing,
+            "constraints": {
+                name: _encode_constraint(constraint)
+                for name, constraint in interest
+            },
+        }
+    raise ProtocolError(
+        f"cannot encode interest of type {type(interest).__name__}"
+    )
+
+
+def decode_interest(data: Dict[str, Json]) -> Interest:
+    """Inverse of :func:`encode_interest`."""
+    kind = data.get("type") if isinstance(data, dict) else None
+    if kind == "static":
+        return StaticInterest(bool(data["interested"]))
+    if kind == "subscription":
+        if data.get("never"):
+            return Subscription.nothing()
+        constraints = {
+            name: _decode_constraint(encoded)
+            for name, encoded in data.get("constraints", {}).items()
+        }
+        return Subscription(constraints)
+    raise ProtocolError(f"malformed interest encoding: {data!r}")
+
+
+# -- gossip messages -----------------------------------------------------------
+
+
+def encode_message(message: GossipMessage) -> Dict[str, Json]:
+    """The Figure 3 wire tuple plus the sender address."""
+    return {
+        "event": encode_event(message.event),
+        "rate": message.rate,
+        "round": message.round,
+        "depth": message.depth,
+        "sender": encode_address(message.sender),
+    }
+
+
+def decode_message(data: Dict[str, Json]) -> GossipMessage:
+    """Inverse of :func:`encode_message`."""
+    try:
+        return GossipMessage(
+            event=decode_event(data["event"]),
+            rate=data["rate"],
+            round=data["round"],
+            depth=data["depth"],
+            sender=decode_address(data["sender"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed message encoding: {data!r}") from exc
+
+
+# -- view rows and tables --------------------------------------------------------
+
+
+def encode_view_row(row: ViewRow) -> Dict[str, Json]:
+    """One table line as carried by gossip-pull replies."""
+    return {
+        "infix": row.infix,
+        "delegates": [encode_address(d) for d in row.delegates],
+        "interest": encode_interest(row.interest),
+        "count": row.process_count,
+        "ts": row.timestamp,
+    }
+
+
+def decode_view_row(data: Dict[str, Json]) -> ViewRow:
+    """Inverse of :func:`encode_view_row`."""
+    try:
+        return ViewRow(
+            infix=data["infix"],
+            delegates=tuple(
+                decode_address(item) for item in data["delegates"]
+            ),
+            interest=decode_interest(data["interest"]),
+            process_count=data["count"],
+            timestamp=data["ts"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed view row encoding: {data!r}") from exc
+
+
+def encode_view_table(table: ViewTable) -> Dict[str, Json]:
+    """A whole per-depth table (a §2.3 join transfer unit)."""
+    return {
+        "prefix": encode_prefix(table.prefix),
+        "tree_depth": table.tree_depth,
+        "rows": [encode_view_row(row) for row in table.rows()],
+    }
+
+
+def decode_view_table(data: Dict[str, Json]) -> ViewTable:
+    """Inverse of :func:`encode_view_table`."""
+    try:
+        return ViewTable(
+            decode_prefix(data["prefix"]),
+            data["tree_depth"],
+            [decode_view_row(item) for item in data["rows"]],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(
+            f"malformed view table encoding: {data!r}"
+        ) from exc

@@ -1,0 +1,55 @@
+"""Per-run gossip context: randomness plus memoized table matching.
+
+Matching an event against a whole view table "is a costly operation"
+(§3.3); within one dissemination the result is identical for every
+process sharing the table, so the context memoizes
+:func:`repro.core.rate.match_table` per ``(table, event)`` pair.  This
+is a cache of a deterministic function — semantics are unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.core.rate import TableMatch, match_table
+from repro.interests.events import Event
+from repro.membership.views import ViewTable
+
+__all__ = ["GossipContext"]
+
+
+class GossipContext:
+    """Shared state for one group of gossiping nodes.
+
+    Args:
+        rng: the random stream used for destination selection.
+        threshold_h: the §5.3 tuning threshold applied by every node
+            (a group-wide parameter: all processes of a subgroup must
+            inflate identically for the tuning to be consistent).
+    """
+
+    def __init__(self, rng: random.Random, threshold_h: int = 0):
+        self.rng = rng
+        self._threshold_h = threshold_h
+        # Keyed by table identity: tables are owned by the group for
+        # the context's whole lifetime, so id() is stable here.
+        self._cache: Dict[Tuple[int, int], TableMatch] = {}
+
+    @property
+    def threshold_h(self) -> int:
+        """The tuning threshold in force for this run."""
+        return self._threshold_h
+
+    def table_match(self, table: ViewTable, event: Event) -> TableMatch:
+        """Memoized ``match_table(table, event, threshold_h)``."""
+        key = (id(table), event.event_id)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = match_table(table, event, self._threshold_h)
+            self._cache[key] = cached
+        return cached
+
+    def invalidate(self) -> None:
+        """Drop all memoized matches (views changed mid-run)."""
+        self._cache.clear()

@@ -1,0 +1,65 @@
+"""Wire messages of the pmcast dissemination protocol (Figure 3).
+
+"An effective gossip, besides conveying an event, also includes the
+depth at which the event is currently being multicast, as well as the
+computed matching rate at that depth with respect to the considered
+subgroup."  Line 14: ``SEND(event, rate, round, depth) to dest``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.addressing import Address
+from repro.errors import ProtocolError
+from repro.interests.events import Event
+
+__all__ = ["GossipMessage", "Envelope"]
+
+
+@dataclass(frozen=True)
+class GossipMessage:
+    """One gossip: an event being multicast at a given tree depth.
+
+    Attributes:
+        event: the multicast event itself (pmcast gossips events, not
+            digests — §3.1).
+        rate: the matching rate computed for the sender's subgroup at
+            ``depth`` (propagated so only R processes per subgroup pay
+            the matching cost — §3.3).
+        round: the gossip round counter the receiver resumes from.
+        depth: the tree depth the event is currently being multicast at.
+        sender: the gossiping process (receivers feed it to their
+            failure detector: any gossip is a liveness proof).
+    """
+
+    event: Event
+    rate: float
+    round: int
+    depth: int
+    sender: Address
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ProtocolError(f"matching rate {self.rate} not in [0, 1]")
+        if self.round < 0:
+            raise ProtocolError(f"round {self.round} must be >= 0")
+        if self.depth < 1:
+            raise ProtocolError(f"depth {self.depth} must be >= 1")
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A gossip message addressed to one destination process.
+
+    The node's GOSSIP task returns envelopes; the transport (the
+    simulator's lossy network, or a real socket layer) decides whether
+    each one arrives.
+    """
+
+    destination: Address
+    message: GossipMessage
+
+    def __post_init__(self) -> None:
+        if self.destination == self.message.sender:
+            raise ProtocolError("a process does not gossip to itself")

@@ -1,0 +1,346 @@
+"""The pmcast protocol state machine (paper §3, Figure 3).
+
+One :class:`PmcastNode` is one process of the group: it owns the
+per-depth gossip buffers, runs the periodic GOSSIP task, handles
+RECEIVE, and initiates PMCAST.  Nodes are transport-agnostic — the
+GOSSIP task *returns* the messages to send and the simulator (or any
+other harness) carries them — so the same state machine runs under the
+round-synchronous simulator and under the example applications.
+
+Fidelity notes (each tied to a Figure 3 line):
+
+* line 7 — the round bound is ``T(|view[depth]|·R·rate, F·rate)`` with
+  the *propagated* rate of the buffered triple; the effective entry
+  count already equals ``|view|·R`` below the leaf depth and ``|view|``
+  at it.
+* lines 10–14 — F distinct destinations are drawn from the whole view,
+  and the event is sent only to those whose (regrouped) interest
+  matches; the §5.3 tuning widens that audience via the shared
+  :class:`~repro.core.context.GossipContext`.
+* lines 16–18 — on expiry the event moves one depth down with a fresh
+  round counter and a locally computed GETRATE for the next depth.
+* lines 19–23 — an event is buffered at most once per process, ever
+  (a seen-set generalizes the figure's buffered-at-any-depth check so
+  passive garbage collection is final), and delivery (HPDELIVER)
+  happens on first reception, only if the process's own interest
+  matches.
+* lines 24–25 — PMCAST inserts at the *root* (depth 1): the algorithm
+  figure's OCR shows ``gossips[d]`` but §3.1 is explicit that
+  dissemination starts at the root and moves toward depth d (see
+  DESIGN.md).  The §3.2 shortcut for events of local interest can skip
+  root depths where only the sender's own subtree is interested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.addressing import Address
+from repro.config import PmcastConfig
+from repro.core.buffers import BufferedEvent, DepthBuffers
+from repro.core.context import GossipContext
+from repro.core.messages import Envelope, GossipMessage
+from repro.core.rate import TableMatch
+from repro.core.rounds import loss_adjusted_rounds, pittel_rounds, round_bound
+from repro.errors import ProtocolError
+from repro.interests.events import Event
+from repro.interests.subscriptions import Interest
+from repro.membership.views import ViewTable
+
+__all__ = ["PmcastNode"]
+
+
+class PmcastNode:
+    """One pmcast process: views, buffers, and the Figure 3 tasks.
+
+    Args:
+        address: the process's hierarchical address.
+        interest: the process's own subscription.
+        views: one :class:`ViewTable` per depth ``1..d`` along the
+            process's prefix path (see
+            :func:`repro.membership.knowledge.build_process_views`).
+        config: the protocol parameters.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        interest: Interest,
+        views: Dict[int, ViewTable],
+        config: PmcastConfig,
+    ):
+        depths = sorted(views)
+        if not depths or depths != list(range(1, depths[-1] + 1)):
+            raise ProtocolError(
+                f"views must cover depths 1..d contiguously, got {depths}"
+            )
+        for depth, table in views.items():
+            if table.depth != depth:
+                raise ProtocolError(
+                    f"table at key {depth} is for depth {table.depth}"
+                )
+            if not table.prefix.is_prefix_of(address):
+                raise ProtocolError(
+                    f"table {table.prefix} is not on {address}'s prefix path"
+                )
+        self._address = address
+        self._interest = interest
+        self._views = dict(views)
+        self._config = config
+        self._tree_depth = depths[-1]
+        self._buffers = DepthBuffers(self._tree_depth)
+        self._received: Set[int] = set()
+        self._delivered: List[Event] = []
+        self._delivered_ids: Set[int] = set()
+        self._messages_sent = 0
+        self._receptions = 0
+        self.alive = True
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def address(self) -> Address:
+        """This process's address."""
+        return self._address
+
+    @property
+    def interest(self) -> Interest:
+        """This process's own subscription."""
+        return self._interest
+
+    @property
+    def tree_depth(self) -> int:
+        """The tree depth ``d``."""
+        return self._tree_depth
+
+    @property
+    def buffers(self) -> DepthBuffers:
+        """The per-depth gossip buffers (exposed for tests/metrics)."""
+        return self._buffers
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no event is being gossiped by this node."""
+        return self._buffers.is_empty
+
+    @property
+    def delivered(self) -> List[Event]:
+        """Events HPDELIVERed to the application, in delivery order."""
+        return list(self._delivered)
+
+    @property
+    def messages_sent(self) -> int:
+        """Total gossip messages emitted by this node."""
+        return self._messages_sent
+
+    @property
+    def receptions(self) -> int:
+        """Total gossip messages received (duplicates included)."""
+        return self._receptions
+
+    def has_received(self, event: Event) -> bool:
+        """True if this node ever received (or published) the event."""
+        return event.event_id in self._received
+
+    def has_delivered(self, event: Event) -> bool:
+        """True if the event was HPDELIVERed here."""
+        return event.event_id in self._delivered_ids
+
+    def view(self, depth: int) -> ViewTable:
+        """The node's view table at ``depth``."""
+        try:
+            return self._views[depth]
+        except KeyError:
+            raise ProtocolError(f"no view at depth {depth}") from None
+
+    def replace_view(self, depth: int, table: ViewTable) -> None:
+        """Install a fresh view table (membership change)."""
+        if table.depth != depth:
+            raise ProtocolError(
+                f"table for depth {table.depth} installed at {depth}"
+            )
+        self._views[depth] = table
+
+    def update_interest(self, interest: Interest) -> None:
+        """Replace this process's own subscription (re-subscription).
+
+        Applies to future deliveries only: already-delivered events are
+        not retracted, and already-buffered events are still forwarded
+        (the process may be serving as a susceptible delegate).
+        """
+        self._interest = interest
+
+    # -- the three Figure 3 entry points ---------------------------------
+
+    def pmcast(self, event: Event, ctx: GossipContext) -> None:
+        """PMCAST (lines 24–25): start multicasting ``event``.
+
+        The publisher takes part in the entire gossip procedure from
+        the root down (§3.2), delivering to itself first if interested.
+        """
+        if not self.alive:
+            raise ProtocolError(f"{self._address} has crashed")
+        if event.event_id in self._received:
+            raise ProtocolError(f"event {event.event_id} already published")
+        self._note_first_reception(event)
+        depth = 1
+        if self._config.local_interest_shortcut:
+            depth = self._shortcut_depth(event, ctx)
+        match = ctx.table_match(self._views[depth], event)
+        self._buffers.add(depth, event, match.rate, round=0)
+
+    def receive(self, message: GossipMessage, ctx: GossipContext) -> None:
+        """RECEIVE (lines 19–23)."""
+        if not self.alive:
+            return
+        if not 1 <= message.depth <= self._tree_depth:
+            raise ProtocolError(f"gossip for foreign depth {message.depth}")
+        self._receptions += 1
+        if message.event.event_id in self._received:
+            # Line 20 generalized: an event is buffered at most once
+            # per process, *ever*.  Checking only the live buffers (the
+            # figure's literal reading) would let a late duplicate
+            # re-buffer an event that bounded gossiping already
+            # garbage-collected — and with the §6 leaf-flood extension
+            # that reinfection oscillates forever.  The seen-set is the
+            # standard way gossip implementations keep passive GC final.
+            return
+        self._note_first_reception(message.event)
+        self._buffers.add(
+            message.depth, message.event, message.rate, message.round
+        )
+
+    def gossip_step(self, ctx: GossipContext) -> List[Envelope]:
+        """One firing of the periodic GOSSIP task (lines 4–18).
+
+        Returns the envelopes to transmit this period.  Depths are
+        walked in ascending order, so an event expiring at depth ``i``
+        is demoted into ``gossips[i+1]`` and gossiped there within the
+        same period — exactly the in-place mutation of Figure 3's loop.
+        """
+        if not self.alive or self._buffers.is_empty:
+            return []
+        out: List[Envelope] = []
+        for depth in range(1, self._tree_depth + 1):
+            for entry in self._buffers.entries(depth):
+                match = ctx.table_match(self._views[depth], entry.event)
+                if self._try_leaf_flood(depth, entry, match, out):
+                    continue
+                bound = self._round_bound(depth, entry.rate)
+                if entry.round < bound:
+                    entry.round += 1
+                    self._emit_gossips(depth, entry, match, ctx, out)
+                elif depth < self._tree_depth:
+                    next_match = ctx.table_match(
+                        self._views[depth + 1], entry.event
+                    )
+                    self._buffers.demote(depth, entry.event, next_match.rate)
+                else:
+                    self._buffers.remove(depth, entry.event)
+        self._messages_sent += len(out)
+        return out
+
+    # -- internals -------------------------------------------------------
+
+    def _note_first_reception(self, event: Event) -> None:
+        self._received.add(event.event_id)
+        if self._interest.matches(event):
+            # HPDELIVER (line 23).
+            self._delivered.append(event)
+            self._delivered_ids.add(event.event_id)
+
+    def _round_bound(self, depth: int, rate: float) -> int:
+        """Line 7: ``T(|view[depth]|·R·rate, F·rate)`` as an integer bound."""
+        table = self._views[depth]
+        effective_n = table.entry_count * rate
+        effective_f = self._config.fanout * rate
+        if self._config.loss_aware_rounds:
+            estimate = loss_adjusted_rounds(
+                effective_n,
+                effective_f,
+                self._config.assumed_loss,
+                self._config.assumed_crash,
+                self._config.pittel_c,
+            )
+        else:
+            estimate = pittel_rounds(
+                effective_n, effective_f, self._config.pittel_c
+            )
+        return round_bound(
+            estimate,
+            self._config.min_rounds_per_depth,
+            self._config.max_rounds_per_depth,
+        )
+
+    def _emit_gossips(
+        self,
+        depth: int,
+        entry: BufferedEvent,
+        match: TableMatch,
+        ctx: GossipContext,
+        out: List[Envelope],
+    ) -> None:
+        """Lines 9–14: draw F destinations, send to the interested ones."""
+        candidates = [
+            address for address in match.entries if address != self._address
+        ]
+        if not candidates:
+            return
+        message = GossipMessage(
+            event=entry.event,
+            rate=entry.rate,
+            round=entry.round,
+            depth=depth,
+            sender=self._address,
+        )
+        count = min(self._config.fanout, len(candidates))
+        for destination in ctx.rng.sample(candidates, count):
+            if match.is_interested(destination):
+                out.append(Envelope(destination, message))
+
+    def _try_leaf_flood(
+        self,
+        depth: int,
+        entry: BufferedEvent,
+        match: TableMatch,
+        out: List[Envelope],
+    ) -> bool:
+        """§6 extension 1: flood a leaf subgroup dense with interest.
+
+        When enabled (threshold <= 1) and the leaf matching rate reaches
+        the threshold, the event is sent once to every interested
+        neighbor and retired locally.  Receivers flood once themselves
+        (first buffering) and then retire too, so a leaf subgroup costs
+        at most one message per (holder, neighbor) pair.
+        """
+        if depth != self._tree_depth:
+            return False
+        if match.rate < self._config.leaf_flood_threshold:
+            return False
+        message = GossipMessage(
+            event=entry.event,
+            rate=entry.rate,
+            round=entry.round,
+            depth=depth,
+            sender=self._address,
+        )
+        for destination in sorted(match.matching):
+            if destination != self._address:
+                out.append(Envelope(destination, message))
+        self._buffers.remove(depth, entry.event)
+        return True
+
+    def _shortcut_depth(self, event: Event, ctx: GossipContext) -> int:
+        """§3.2: skip root depths where only our own subtree is interested."""
+        depth = 1
+        while depth < self._tree_depth:
+            table = self._views[depth]
+            own_infix = self._address.components[depth - 1]
+            interested_infixes = {
+                row.infix for row in table.matching_rows(event)
+            }
+            if interested_infixes <= {own_infix}:
+                depth += 1
+            else:
+                break
+        return depth

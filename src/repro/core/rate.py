@@ -1,0 +1,101 @@
+"""Matching-rate computation: GETRATE of Figure 3 (lines 28–33).
+
+``GETRATE(depth, event)`` scans the view table of the given depth and
+returns the fraction of entries whose (regrouped) interest matches the
+event.  Below the leaf depth an entry is one of a row's R delegates and
+its effective interest is the row's subtree summary — a delegate is
+susceptible *on behalf of* the processes it represents (§3.1).
+
+:func:`match_table` also applies the §5.3 tuning: when fewer than ``h``
+entries are interested, the first ``h`` entries of the view are treated
+as interested as well (see :mod:`repro.core.tuning`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.addressing import Address
+from repro.core.tuning import inflate_audience
+from repro.errors import ProtocolError
+from repro.interests.events import Event
+from repro.membership.views import ViewTable
+
+__all__ = ["TableMatch", "match_table"]
+
+
+@dataclass(frozen=True)
+class TableMatch:
+    """The outcome of matching one event against one view table.
+
+    Attributes:
+        entries: every gossipable entry of the table, in view order
+            (delegates flattened row-by-row).
+        matching: the *effective* interested entries after tuning —
+            the set a gossiper actually sends to.
+        natural_hits: how many entries matched before tuning (Figure 3's
+            raw ``hits``).
+        rate: the effective matching rate ``|matching| / |entries|``
+            used for the round bound and propagated in gossips.
+        inflated: True when the §5.3 tuning kicked in.
+    """
+
+    entries: Tuple[Address, ...]
+    matching: FrozenSet[Address]
+    natural_hits: int
+    rate: float
+    inflated: bool
+
+    @property
+    def total(self) -> int:
+        """The number of gossipable entries (``|view| * R`` below d)."""
+        return len(self.entries)
+
+    def is_interested(self, address: Address) -> bool:
+        """True if ``address`` should be sent the event (line 13)."""
+        return address in self.matching
+
+
+def match_table(
+    table: ViewTable,
+    event: Event,
+    threshold_h: int = 0,
+) -> TableMatch:
+    """GETRATE plus the effective interested-entry set.
+
+    Args:
+        table: the view of the subgroup being gossiped in.
+        event: the event being multicast.
+        threshold_h: the §5.3 tuning threshold (0 disables tuning).
+
+    Raises:
+        ProtocolError: if the table has no entries (an unpopulated view
+            cannot be gossiped in).
+    """
+    if threshold_h < 0:
+        raise ProtocolError(f"threshold h={threshold_h} must be >= 0")
+    flattened: List[Address] = []
+    matching: List[Address] = []
+    for row in table.rows():
+        row_matches = row.interest.matches(event)
+        for delegate in row.delegates:
+            flattened.append(delegate)
+            if row_matches:
+                matching.append(delegate)
+    if not flattened:
+        raise ProtocolError(f"view of {table.prefix} has no entries")
+    natural_hits = len(matching)
+    effective = frozenset(matching)
+    inflated = False
+    if threshold_h > 0 and natural_hits < threshold_h:
+        effective = inflate_audience(flattened, effective, threshold_h)
+        inflated = True
+    rate = len(effective) / len(flattened)
+    return TableMatch(
+        entries=tuple(flattened),
+        matching=effective,
+        natural_hits=natural_hits,
+        rate=rate,
+        inflated=inflated,
+    )

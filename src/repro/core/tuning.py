@@ -1,0 +1,78 @@
+"""Tuning for small matching rates (paper §5.3).
+
+"We have modified the algorithm [...] to gossip to non-interested
+processes if the number of interested processes in the group drops
+below a threshold h.  In that case, every involved process decides that
+the h first processes in its view of the corresponding depth are
+interested, in addition to the remaining effectively interested
+processes outside of the first h processes in the corresponding view."
+
+Artificially enlarging the audience restores the validity of Pittel's
+asymptote (which degrades for small ``n·p_d``), at the documented cost
+of infecting more uninterested processes (the Figure 5 / Figure 7
+compromise).  :func:`inflate_audience` is the pure set operation;
+:func:`choose_threshold` searches for the smallest ``h`` meeting a
+reliability target, "obtained through analysis or simulation".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Sequence
+
+from repro.addressing import Address
+from repro.errors import ConfigError
+
+__all__ = ["inflate_audience", "choose_threshold"]
+
+
+def inflate_audience(
+    entries: Sequence[Address],
+    matching: FrozenSet[Address],
+    threshold_h: int,
+) -> FrozenSet[Address]:
+    """The §5.3 audience: first ``h`` view entries plus real matches.
+
+    Args:
+        entries: the view's gossipable entries, *in view order* — the
+            deterministic order every process of the subgroup shares,
+            so all involved processes inflate identically without
+            agreement.
+        matching: the effectively interested entries.
+        threshold_h: how many leading entries to conscript.
+
+    Returns:
+        the union of the first ``h`` entries and all matching entries.
+    """
+    if threshold_h < 1:
+        raise ConfigError(f"threshold h={threshold_h} must be >= 1 to inflate")
+    return frozenset(entries[:threshold_h]) | matching
+
+
+def choose_threshold(
+    reliability_at: Callable[[int], float],
+    target: float,
+    max_threshold: int,
+) -> int:
+    """Find the smallest ``h`` whose measured reliability meets ``target``.
+
+    "By fixing a lower bound on the desired reliability degree, h can
+    be obtained through analysis or simulation."  ``reliability_at(h)``
+    is that analysis or simulation — any callable mapping a candidate
+    threshold to a delivery probability.
+
+    Returns:
+        the smallest ``h in [0, max_threshold]`` with
+        ``reliability_at(h) >= target``, or ``max_threshold`` if none
+        reaches the target (the most conservative available choice).
+
+    Raises:
+        ConfigError: if ``target`` is not in (0, 1] or the bound < 0.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ConfigError(f"reliability target {target} not in (0, 1]")
+    if max_threshold < 0:
+        raise ConfigError(f"max_threshold {max_threshold} must be >= 0")
+    for candidate in range(max_threshold + 1):
+        if reliability_at(candidate) >= target:
+            return candidate
+    return max_threshold

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class AddressError(ReproError):
+    """An address or prefix is malformed or out of its space's bounds."""
+
+
+class PredicateError(ReproError):
+    """A predicate or subscription is malformed or type-inconsistent."""
+
+
+class ParseError(PredicateError):
+    """The textual subscription language could not be parsed."""
+
+
+class MembershipError(ReproError):
+    """The membership tree or a view table is in an inconsistent state."""
+
+
+class ElectionError(MembershipError):
+    """A subgroup cannot elect the required number of delegates."""
+
+
+class ProtocolError(ReproError):
+    """The pmcast protocol state machine received an invalid input."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its documented range."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class AnalysisError(ReproError):
+    """An analytical model was evaluated outside its domain."""

@@ -1,0 +1,139 @@
+"""Last-contact failure detection (paper §2.3).
+
+"For the purpose of detecting the failure of processes, every process
+keeps track of the last time it was contacted by its most immediate
+neighbor processes."
+
+:class:`FailureDetector` is that bookkeeping for one process: it
+records contacts (any gossip counts), reports which neighbors exceeded
+the timeout, and supports the optional leaf-subgroup hardening of §6 —
+requiring ``confirmations`` independent suspicions before a process is
+excluded ("possibly even perform a form of agreement before excluding a
+suspected process from their views").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.addressing import Address
+from repro.errors import MembershipError
+
+__all__ = ["FailureDetector", "SuspicionQuorum"]
+
+
+class FailureDetector:
+    """Heartbeat-style detector over a process's immediate neighbors.
+
+    Args:
+        owner: the monitoring process.
+        timeout: rounds of silence after which a neighbor is suspected.
+    """
+
+    def __init__(self, owner: Address, timeout: int):
+        if timeout < 1:
+            raise MembershipError(f"timeout {timeout} must be >= 1")
+        self._owner = owner
+        self._timeout = timeout
+        self._last_contact: Dict[Address, int] = {}
+
+    @property
+    def owner(self) -> Address:
+        """The monitoring process."""
+        return self._owner
+
+    @property
+    def timeout(self) -> int:
+        """Rounds of silence before suspicion."""
+        return self._timeout
+
+    def watch(self, neighbor: Address, now: int) -> None:
+        """Start monitoring a neighbor as of time ``now``."""
+        if neighbor == self._owner:
+            raise MembershipError("a process does not monitor itself")
+        self._last_contact.setdefault(neighbor, now)
+
+    def unwatch(self, neighbor: Address) -> None:
+        """Stop monitoring (the neighbor left or was excluded)."""
+        self._last_contact.pop(neighbor, None)
+
+    def record_contact(self, neighbor: Address, now: int) -> None:
+        """Note that ``neighbor`` contacted us at time ``now``.
+
+        Contacts from unwatched processes start a watch implicitly —
+        any gossip proves liveness.
+        """
+        if neighbor == self._owner:
+            return
+        previous = self._last_contact.get(neighbor)
+        if previous is None or now > previous:
+            self._last_contact[neighbor] = now
+
+    def watched(self) -> List[Address]:
+        """Monitored neighbors, sorted."""
+        return sorted(self._last_contact)
+
+    def last_contact(self, neighbor: Address) -> int:
+        """The last time ``neighbor`` was heard from."""
+        try:
+            return self._last_contact[neighbor]
+        except KeyError:
+            raise MembershipError(
+                f"{self._owner} does not monitor {neighbor}"
+            ) from None
+
+    def suspects(self, now: int) -> List[Address]:
+        """Neighbors silent for more than the timeout, sorted."""
+        return sorted(
+            neighbor
+            for neighbor, last in self._last_contact.items()
+            if now - last > self._timeout
+        )
+
+
+class SuspicionQuorum:
+    """Optional leaf-subgroup agreement before exclusion (paper §6).
+
+    Collects independent suspicions against a process; only once
+    ``quorum`` distinct monitors have reported it may the process be
+    excluded from the subgroup's views.  This trades detection latency
+    for resistance to false suspicion by a single slow link.
+    """
+
+    def __init__(self, quorum: int):
+        if quorum < 1:
+            raise MembershipError(f"quorum {quorum} must be >= 1")
+        self._quorum = quorum
+        self._accusers: Dict[Address, Set[Address]] = {}
+
+    @property
+    def quorum(self) -> int:
+        """Independent suspicions required for exclusion."""
+        return self._quorum
+
+    def accuse(self, suspect: Address, accuser: Address) -> bool:
+        """Register a suspicion; True once the quorum is reached."""
+        accusers = self._accusers.setdefault(suspect, set())
+        accusers.add(accuser)
+        return len(accusers) >= self._quorum
+
+    def retract(self, suspect: Address, accuser: Address) -> None:
+        """Withdraw a suspicion (the suspect was heard from again)."""
+        accusers = self._accusers.get(suspect)
+        if accusers is None:
+            return
+        accusers.discard(accuser)
+        if not accusers:
+            del self._accusers[suspect]
+
+    def convicted(self) -> List[Address]:
+        """Processes whose accusations reached the quorum, sorted."""
+        return sorted(
+            suspect
+            for suspect, accusers in self._accusers.items()
+            if len(accusers) >= self._quorum
+        )
+
+    def accusation_count(self, suspect: Address) -> int:
+        """How many distinct monitors currently accuse ``suspect``."""
+        return len(self._accusers.get(suspect, ()))

@@ -1,0 +1,183 @@
+"""Gossip-pull anti-entropy over view tables (paper §2.3).
+
+"Membership information updating is based on gossip pull.  Every line
+in every table has an associated timestamp [...] Periodically, a
+process randomly selects processes of a table and gossips to those
+processes.  A gossip carries a list of tuples (line, timestamp) for
+every line in every table.  The receiver compares all the timestamps to
+its own timestamps, and updates the gossiper for all lines in which the
+gossiper's timestamps are smaller."
+
+:class:`MembershipState` is one process's complete knowledge (one
+table per depth); :func:`exchange` performs one gossiper->receiver pull
+interaction; :func:`anti_entropy_round` drives a whole group for the
+convergence tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.addressing import Address
+from repro.errors import MembershipError
+from repro.membership.views import ViewRow, ViewTable
+
+__all__ = [
+    "MembershipState",
+    "Digest",
+    "exchange",
+    "anti_entropy_round",
+    "anti_entropy_until_quiescent",
+]
+
+# (depth, infix) -> timestamp of the gossiper's line.
+Digest = Dict[Tuple[int, int], int]
+
+
+@dataclass
+class MembershipState:
+    """One process's membership knowledge: a table per depth 1..d."""
+
+    owner: Address
+    tables: Dict[int, ViewTable]
+
+    def __post_init__(self) -> None:
+        for depth, table in self.tables.items():
+            if table.depth != depth:
+                raise MembershipError(
+                    f"table registered at depth {depth} has depth {table.depth}"
+                )
+            if not table.prefix.is_prefix_of(self.owner):
+                raise MembershipError(
+                    f"table {table.prefix} is not on {self.owner}'s path"
+                )
+
+    def digest(self) -> Digest:
+        """(line, timestamp) tuples for every line in every table."""
+        out: Digest = {}
+        for depth, table in self.tables.items():
+            for infix, timestamp in table.digest().items():
+                out[(depth, infix)] = timestamp
+        return out
+
+    def fresher_rows(self, digest: Digest) -> List[Tuple[int, ViewRow]]:
+        """Lines where this process is strictly fresher than ``digest``.
+
+        Lines the digest lacks entirely are also returned — a line the
+        gossiper has never seen is the extreme case of a smaller
+        timestamp.
+        """
+        updates: List[Tuple[int, ViewRow]] = []
+        for depth, table in self.tables.items():
+            for row in table.rows():
+                known = digest.get((depth, row.infix))
+                if known is None or known < row.timestamp:
+                    updates.append((depth, row))
+        return updates
+
+    def apply(self, updates: Sequence[Tuple[int, ViewRow]]) -> int:
+        """Install every update line that is fresher than ours.
+
+        Returns the number of lines actually changed.  Lines for depths
+        this process does not maintain (different prefix path) are
+        ignored — each process only keeps the tables along its own
+        prefix chain.
+        """
+        changed = 0
+        for depth, row in updates:
+            table = self.tables.get(depth)
+            if table is None:
+                continue
+            if table.has_row(row.infix) and not row.newer_than(table.row(row.infix)):
+                continue
+            table.upsert(row)
+            changed += 1
+        return changed
+
+    def peers(self) -> List[Address]:
+        """Every process appearing in any table (gossip candidates)."""
+        seen = []
+        seen_set = set()
+        for table in self.tables.values():
+            for address in table.addresses():
+                if address != self.owner and address not in seen_set:
+                    seen_set.add(address)
+                    seen.append(address)
+        return seen
+
+
+def exchange(gossiper: MembershipState, receiver: MembershipState) -> int:
+    """One gossip-pull interaction: the *gossiper* gets updated.
+
+    The gossiper sends its digest; the receiver replies with every line
+    on which its timestamp is larger; the gossiper installs them.
+    Only lines for subgroups both processes maintain can flow (their
+    common prefix path).
+
+    Returns the number of lines the gossiper updated.
+    """
+    digest = gossiper.digest()
+    updates = receiver.fresher_rows(digest)
+    # Restrict to tables the two processes share (same prefix at a depth);
+    # rows for a foreign subtree would silently corrupt the gossiper's view.
+    shared = [
+        (depth, row)
+        for depth, row in updates
+        if depth in gossiper.tables
+        and gossiper.tables[depth].prefix == receiver.tables[depth].prefix
+    ]
+    return gossiper.apply(shared)
+
+
+def anti_entropy_round(
+    states: Mapping[Address, MembershipState],
+    rng: random.Random,
+    fanout: int = 1,
+) -> int:
+    """Every process pulls from ``fanout`` random known peers.
+
+    Returns the total number of line updates in the round.  A single
+    quiet round does not prove convergence (random pairing may have
+    matched only already-synced peers); use
+    :func:`anti_entropy_until_quiescent` to drive until convergence.
+    """
+    total = 0
+    for state in states.values():
+        candidates = [peer for peer in state.peers() if peer in states]
+        if not candidates:
+            continue
+        count = min(fanout, len(candidates))
+        for peer in rng.sample(candidates, count):
+            total += exchange(state, states[peer])
+    return total
+
+
+def anti_entropy_until_quiescent(
+    states: Mapping[Address, MembershipState],
+    rng: random.Random,
+    fanout: int = 1,
+    quiet_rounds: int = 3,
+    max_rounds: int = 256,
+) -> int:
+    """Run anti-entropy rounds until the group looks converged.
+
+    One quiet round proves nothing under randomized peer selection (the
+    round may simply have paired already-synced processes), so the loop
+    only stops after ``quiet_rounds`` consecutive rounds without a
+    single line update, or at the ``max_rounds`` safety cap.
+
+    Returns the number of rounds executed.
+    """
+    if quiet_rounds < 1:
+        raise MembershipError(f"quiet_rounds {quiet_rounds} must be >= 1")
+    quiet = 0
+    for round_index in range(max_rounds):
+        if anti_entropy_round(states, rng, fanout) == 0:
+            quiet += 1
+            if quiet >= quiet_rounds:
+                return round_index + 1
+        else:
+            quiet = 0
+    return max_rounds

@@ -1,0 +1,160 @@
+"""Deriving views from the tree, and the paper's view-size formulas.
+
+:func:`build_view` materializes the depth-``i`` view table of a
+subgroup from the :class:`~repro.membership.tree.MembershipTree` ground
+truth; :func:`build_process_views` assembles a process's complete
+knowledge — one table per depth along its prefix path (Figure 1's
+shaded processes).
+
+The module also implements the closed-form knowledge accounting:
+
+* Eq 2 — the number of processes a given process knows,
+* Eq 12 — the per-depth view sizes ``m_i`` in a regular tree, and the
+  total ``m = R·a·(d-1) + a`` in ``O(d · R · n^(1/d))``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.addressing import Address, Prefix
+from repro.errors import MembershipError
+from repro.interests.regrouping import RegroupPolicy, regroup
+from repro.membership.tree import MembershipTree
+from repro.membership.views import ViewRow, ViewTable
+
+__all__ = [
+    "build_view",
+    "build_process_views",
+    "build_all_views",
+    "known_process_count",
+    "regular_view_sizes",
+    "regular_total_view_size",
+]
+
+
+def build_view(
+    tree: MembershipTree,
+    prefix: Prefix,
+    timestamp: int = 0,
+    policy: Optional[RegroupPolicy] = None,
+) -> ViewTable:
+    """Materialize the view table of one subgroup from the tree.
+
+    For a prefix of depth ``i < d``, each populated child subgroup
+    becomes one row: its R delegates, its regrouped interest and its
+    process count.  For a depth-``d`` prefix each member process is its
+    own row.
+
+    Args:
+        tree: the membership ground truth.
+        prefix: the subgroup to describe.
+        timestamp: logical time stamped on every produced row.
+        policy: interest-regrouping compaction policy (exact by default).
+    """
+    if not tree.is_populated(prefix):
+        raise MembershipError(f"prefix {prefix} is not populated")
+    rows: List[ViewRow] = []
+    if prefix.depth == tree.depth:
+        for address in tree.subtree_members(prefix):
+            rows.append(
+                ViewRow(
+                    infix=address.components[-1],
+                    delegates=(address,),
+                    interest=tree.interest_of(address),
+                    process_count=1,
+                    timestamp=timestamp,
+                )
+            )
+    else:
+        for child in tree.populated_children(prefix):
+            child_prefix = prefix.child(child)
+            members = tree.subtree_members(child_prefix)
+            summary = regroup(
+                (tree.interest_of(address) for address in members), policy
+            )
+            rows.append(
+                ViewRow(
+                    infix=child,
+                    delegates=tree.delegates(child_prefix),
+                    interest=summary,
+                    process_count=len(members),
+                    timestamp=timestamp,
+                )
+            )
+    return ViewTable(prefix, tree.depth, rows)
+
+
+def build_process_views(
+    tree: MembershipTree,
+    address: Address,
+    timestamp: int = 0,
+    policy: Optional[RegroupPolicy] = None,
+) -> Dict[int, ViewTable]:
+    """All view tables of one process: one per depth 1..d.
+
+    The depth-``i`` table describes the process's subgroup at depth
+    ``i`` (its prefix of depth ``i``), exactly the shaded knowledge of
+    Figure 1.
+    """
+    if address not in tree:
+        raise MembershipError(f"{address} is not a member")
+    return {
+        depth: build_view(tree, address.prefix(depth), timestamp, policy)
+        for depth in range(1, tree.depth + 1)
+    }
+
+
+def build_all_views(
+    tree: MembershipTree,
+    timestamp: int = 0,
+    policy: Optional[RegroupPolicy] = None,
+) -> Dict[Prefix, ViewTable]:
+    """One shared view table per populated prefix of the tree.
+
+    Processes sharing a prefix see identical (converged) tables, so the
+    simulator builds each once and shares it — a pure optimization.
+    """
+    tables: Dict[Prefix, ViewTable] = {}
+    seen: set = set()
+    for address in tree.members():
+        for prefix in address.prefixes():
+            if prefix in seen:
+                continue
+            seen.add(prefix)
+            tables[prefix] = build_view(tree, prefix, timestamp, policy)
+    return tables
+
+
+def known_process_count(tree: MembershipTree, address: Address) -> int:
+    """Eq 2: the total number of processes known by ``address``.
+
+    ``|x(1)..x(d-1)| + sum_{i=1}^{d-1} R * |x(1)..x(i-1)|`` where
+    delegates recurring at several depths are counted once per depth,
+    as the paper does ("a delegate of a given depth i is also taken
+    into account at any depth i + 1").
+    """
+    if address not in tree:
+        raise MembershipError(f"{address} is not a member")
+    d = tree.depth
+    total = tree.branch_factor(address.prefix(d))
+    for depth in range(1, d):
+        prefix = address.prefix(depth)
+        for child in tree.populated_children(prefix):
+            total += len(tree.delegates(prefix.child(child)))
+    return total
+
+
+def regular_view_sizes(arity: int, depth: int, redundancy: int) -> List[int]:
+    """Eq 12: per-depth view sizes ``m_i`` in a regular tree.
+
+    ``m_i = R * a`` for ``1 <= i < d`` and ``m_d = a``.
+    """
+    if arity < 1 or depth < 1 or redundancy < 1:
+        raise MembershipError("arity, depth and redundancy must be >= 1")
+    return [redundancy * arity] * (depth - 1) + [arity]
+
+
+def regular_total_view_size(arity: int, depth: int, redundancy: int) -> int:
+    """Eq 12 aggregate: ``m = R·a·(d-1) + a``, in O(d·R·n^(1/d))."""
+    return sum(regular_view_sizes(arity, depth, redundancy))

@@ -1,0 +1,205 @@
+"""Per-depth membership view tables (paper §2.3, Figure 2).
+
+"Each process maintains a table for each depth, representing the view
+(mainly processes and their interests) of the process at that depth."
+
+A :class:`ViewTable` is one such table: for a prefix of depth ``i`` it
+holds one :class:`ViewRow` per populated child subgroup — the row of an
+"infix" ``x(i)`` carries the regrouped interests of that subtree, its
+R delegates, its process count (used by the round-estimation heuristics
+of §3.3) and a timestamp for the gossip-pull anti-entropy of §2.3.  At
+depth ``d`` every row describes a single neighbor process.
+
+All processes sharing a prefix see the same table content once views
+have converged, which is why the simulator shares table objects per
+prefix (an exact-memory optimization, not a semantic change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.errors import MembershipError
+from repro.interests.events import Event
+from repro.interests.subscriptions import Interest
+
+__all__ = ["ViewRow", "ViewTable"]
+
+
+@dataclass(frozen=True)
+class ViewRow:
+    """One line of a view table: a child subgroup summary.
+
+    Attributes:
+        infix: the component ``x(i)`` identifying the child subgroup.
+        delegates: the R delegates representing that subtree (a single
+            process at depth ``d``).
+        interest: the regrouped interest of the whole subtree.
+        process_count: ``‖·‖`` — how many processes the subtree holds.
+        timestamp: logical time of the last update to this line; the
+            anti-entropy protocol keeps, for each line, the version with
+            the largest timestamp.
+    """
+
+    infix: int
+    delegates: Tuple[Address, ...]
+    interest: Interest
+    process_count: int
+    timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.infix < 0:
+            raise MembershipError(f"negative infix {self.infix}")
+        if not self.delegates:
+            raise MembershipError(f"row {self.infix} has no delegates")
+        if self.process_count < 1:
+            raise MembershipError(
+                f"row {self.infix} has process_count {self.process_count}"
+            )
+
+    def newer_than(self, other: "ViewRow") -> bool:
+        """True if this line supersedes ``other`` under anti-entropy."""
+        return self.timestamp > other.timestamp
+
+    def with_timestamp(self, timestamp: int) -> "ViewRow":
+        """A copy of this row carrying a new timestamp."""
+        return replace(self, timestamp=timestamp)
+
+
+class ViewTable:
+    """The view of one subgroup at one depth.
+
+    Args:
+        prefix: the subgroup this table describes (its depth is the
+            table's tree depth).
+        tree_depth: the overall ``d`` (needed to know whether rows are
+            subgroups or individual processes).
+        rows: the initial lines, keyed by infix internally.
+    """
+
+    __slots__ = ("_prefix", "_tree_depth", "_rows")
+
+    def __init__(
+        self,
+        prefix: Prefix,
+        tree_depth: int,
+        rows: Sequence[ViewRow] = (),
+    ):
+        if not 1 <= prefix.depth <= tree_depth:
+            raise MembershipError(
+                f"prefix {prefix} of depth {prefix.depth} does not fit a "
+                f"tree of depth {tree_depth}"
+            )
+        self._prefix = prefix
+        self._tree_depth = tree_depth
+        self._rows: Dict[int, ViewRow] = {}
+        for row in rows:
+            if row.infix in self._rows:
+                raise MembershipError(
+                    f"duplicate infix {row.infix} in view of {prefix}"
+                )
+            self._rows[row.infix] = row
+
+    @property
+    def prefix(self) -> Prefix:
+        """The subgroup this table describes."""
+        return self._prefix
+
+    @property
+    def depth(self) -> int:
+        """The tree depth of this table (= the prefix's depth)."""
+        return self._prefix.depth
+
+    @property
+    def tree_depth(self) -> int:
+        """The overall tree depth ``d``."""
+        return self._tree_depth
+
+    @property
+    def is_leaf_level(self) -> bool:
+        """True if rows are individual processes (depth == d)."""
+        return self.depth == self._tree_depth
+
+    @property
+    def row_count(self) -> int:
+        """``|view|`` in Figure 3 — the number of lines."""
+        return len(self._rows)
+
+    @property
+    def entry_count(self) -> int:
+        """Total gossipable processes: ``|view| * R`` below depth d."""
+        return sum(len(row.delegates) for row in self._rows.values())
+
+    def rows(self) -> List[ViewRow]:
+        """All lines, sorted by infix (deterministic iteration order)."""
+        return [self._rows[infix] for infix in sorted(self._rows)]
+
+    def row(self, infix: int) -> ViewRow:
+        """The line for child subgroup ``infix``."""
+        try:
+            return self._rows[infix]
+        except KeyError:
+            raise MembershipError(
+                f"view of {self._prefix} has no row for infix {infix}"
+            ) from None
+
+    def has_row(self, infix: int) -> bool:
+        """True if a line exists for child subgroup ``infix``."""
+        return infix in self._rows
+
+    def upsert(self, row: ViewRow) -> None:
+        """Insert or replace the line for ``row.infix``."""
+        self._rows[row.infix] = row
+
+    def discard(self, infix: int) -> None:
+        """Drop the line for ``infix`` if present (leave/failure)."""
+        self._rows.pop(infix, None)
+
+    def entries(self) -> List[Tuple[Address, ViewRow]]:
+        """Flattened gossip targets: every delegate with its row.
+
+        This is the population the Figure 3 ``RANDOM(view[depth])``
+        draws from; a delegate's *effective* interest when filtering a
+        send is its row's regrouped interest (the delegate is
+        susceptible on behalf of the subtree it represents).
+        """
+        out: List[Tuple[Address, ViewRow]] = []
+        for infix in sorted(self._rows):
+            row = self._rows[infix]
+            for delegate in row.delegates:
+                out.append((delegate, row))
+        return out
+
+    def addresses(self) -> List[Address]:
+        """All delegate addresses, sorted by (infix, address)."""
+        return [address for address, __ in self.entries()]
+
+    def matching_rows(self, event: Event) -> List[ViewRow]:
+        """The lines whose regrouped interest matches ``event``."""
+        return [row for row in self.rows() if row.interest.matches(event)]
+
+    def total_process_count(self) -> int:
+        """Processes represented by the whole table (Eq 4 aggregate)."""
+        return sum(row.process_count for row in self._rows.values())
+
+    def digest(self) -> Dict[int, int]:
+        """(infix -> timestamp) summary used by gossip-pull exchanges."""
+        return {infix: row.timestamp for infix, row in self._rows.items()}
+
+    def clone(self) -> "ViewTable":
+        """An independent copy (rows are immutable, so sharing is safe)."""
+        return ViewTable(self._prefix, self._tree_depth, self.rows())
+
+    def __iter__(self) -> Iterator[ViewRow]:
+        return iter(self.rows())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewTable(prefix={str(self._prefix)!r}, depth={self.depth}, "
+            f"rows={self.row_count})"
+        )

@@ -1,0 +1,236 @@
+"""A high-level publish/subscribe facade over the pmcast stack.
+
+The lower layers expose every moving part of the paper; this module is
+the API a downstream application actually wants:
+
+* :class:`PubSubSystem` owns a live group — membership tree, converged
+  views, one :class:`~repro.core.node.PmcastNode` per process — and
+  offers ``subscribe`` / ``unsubscribe`` / ``publish`` / ``crash``.
+* Membership changes immediately rebuild the affected shared view
+  tables (the converged end-state that gossip-pull anti-entropy reaches
+  in a running deployment; §2.3) and re-wire the touched nodes.
+* ``publish`` multicasts one event through the simulated network and
+  returns its :class:`~repro.sim.metrics.DisseminationReport`;
+  ``delivered_to`` answers exactly which subscribers got it.
+
+This is also what the churn-heavy example and integration tests drive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.addressing import Address, AddressSpace, Prefix
+from repro.addressing.allocation import AddressAllocator
+from repro.config import PmcastConfig, SimConfig
+from repro.core.node import PmcastNode
+from repro.errors import MembershipError, SimulationError
+from repro.interests.events import Event
+from repro.interests.regrouping import RegroupPolicy
+from repro.interests.subscriptions import Interest
+from repro.membership.knowledge import build_view
+from repro.membership.tree import MembershipTree
+from repro.membership.views import ViewTable
+from repro.sim.engine import run_dissemination
+from repro.sim.group import PmcastGroup
+from repro.sim.metrics import DisseminationReport
+
+__all__ = ["PubSubSystem"]
+
+
+class PubSubSystem:
+    """A live content-based publish/subscribe group.
+
+    Args:
+        depth: the address depth ``d`` of the group.
+        config: protocol parameters.
+        sim_config: environment for publishes (loss, crashes, seed).
+        regroup_policy: interest-regrouping compaction policy.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        config: Optional[PmcastConfig] = None,
+        sim_config: Optional[SimConfig] = None,
+        regroup_policy: Optional[RegroupPolicy] = None,
+        space: Optional[AddressSpace] = None,
+    ):
+        self._config = config or PmcastConfig()
+        self._sim_config = sim_config or SimConfig()
+        self._policy = regroup_policy
+        self._tree = MembershipTree(depth, self._config.redundancy)
+        self._tables: Dict[Prefix, ViewTable] = {}
+        self._nodes: Dict[Address, PmcastNode] = {}
+        self._clock = 0
+        self._publish_count = 0
+        if space is not None and space.depth != depth:
+            raise MembershipError(
+                f"address space depth {space.depth} != group depth {depth}"
+            )
+        self._space = space
+        self._allocator: Optional[AddressAllocator] = None
+
+    # -- membership -----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Current number of subscribers."""
+        return self._tree.size
+
+    @property
+    def tree(self) -> MembershipTree:
+        """The membership ground truth (read-mostly)."""
+        return self._tree
+
+    def members(self) -> List[Address]:
+        """Current member addresses, sorted."""
+        return sorted(self._tree.members())
+
+    def subscribe(self, address: Address, interest: Interest) -> None:
+        """Add a subscriber (or replace an existing one's interest)."""
+        if address in self._tree:
+            self._tree.update_interest(address, interest)
+            self._nodes[address].update_interest(interest)
+        else:
+            self._tree.add(address, interest)
+        self._refresh(address)
+
+    def join(self, interest: Interest, hint: Optional[object] = None) -> Address:
+        """Subscribe a new process with an auto-allocated logical address.
+
+        §2.2's logical-address mode: the system assigns a balanced
+        address (keeping leaf subgroups at the R the election needs);
+        processes sharing a ``hint`` (e.g. a site name) are placed in
+        the same subtree so their mutual distance stays small.
+
+        Requires the system to have been constructed with an
+        ``AddressSpace``.
+        """
+        if self._space is None:
+            raise MembershipError(
+                "auto-join needs a PubSubSystem constructed with a space"
+            )
+        if self._allocator is None:
+            self._allocator = AddressAllocator(
+                self._space, min_subgroup=self._config.redundancy
+            )
+            for address in self._tree.members():
+                # Adopt pre-existing manual subscriptions.
+                if not self._allocator.is_allocated(address):
+                    self._allocator.reserve(address)
+        address = self._allocator.allocate(hint)
+        self.subscribe(address, interest)
+        return address
+
+    def unsubscribe(self, address: Address) -> None:
+        """Remove a subscriber entirely (graceful leave)."""
+        if address not in self._tree:
+            raise MembershipError(f"{address} is not subscribed")
+        self._tree.remove(address)
+        self._nodes.pop(address, None)
+        if self._allocator is not None and self._allocator.is_allocated(
+            address
+        ):
+            self._allocator.release(address)
+        self._refresh(address)
+
+    def crash(self, address: Address) -> None:
+        """Silently crash a process: it stays in views until excluded.
+
+        Unlike :meth:`unsubscribe`, the views are *not* refreshed — the
+        group still believes the process is alive, exactly the window a
+        real failure opens before detectors fire.  Call
+        :meth:`exclude` once the §2.3 detector would have convicted it.
+        """
+        node = self._node(address)
+        node.alive = False
+
+    def exclude(self, address: Address) -> None:
+        """Remove a crashed process from the membership (post-detection)."""
+        if address not in self._tree:
+            raise MembershipError(f"{address} is not a member")
+        self._tree.remove(address)
+        self._nodes.pop(address, None)
+        self._refresh(address)
+
+    # -- publishing -------------------------------------------------------
+
+    def publish(
+        self,
+        publisher: Address,
+        event: Event,
+        sim_config: Optional[SimConfig] = None,
+    ) -> DisseminationReport:
+        """Multicast ``event`` from ``publisher`` and measure it."""
+        if publisher not in self._tree:
+            raise SimulationError(f"publisher {publisher} is not a member")
+        group = self._as_group()
+        self._publish_count += 1
+        sim = sim_config or SimConfig(
+            loss_probability=self._sim_config.loss_probability,
+            crash_fraction=self._sim_config.crash_fraction,
+            seed=self._sim_config.seed + self._publish_count,
+            max_rounds=self._sim_config.max_rounds,
+        )
+        return run_dissemination(group, publisher, event, sim)
+
+    def delivered_to(self, event: Event) -> List[Address]:
+        """Which current members have delivered ``event``."""
+        return sorted(
+            address
+            for address, node in self._nodes.items()
+            if node.has_delivered(event)
+        )
+
+    def node(self, address: Address) -> PmcastNode:
+        """The live protocol node of a member (for inspection)."""
+        return self._node(address)
+
+    # -- internals ---------------------------------------------------------
+
+    def _node(self, address: Address) -> PmcastNode:
+        node = self._nodes.get(address)
+        if node is None:
+            raise MembershipError(f"{address} has no live node")
+        return node
+
+    def _refresh(self, changed: Address) -> None:
+        """Rebuild the tables on ``changed``'s prefix path, re-wire nodes.
+
+        This realizes the *converged* outcome of the §2.3 protocols
+        (join contact chain + gossip-pull propagation) in one step; the
+        protocols themselves are implemented and tested in
+        :mod:`repro.membership`.
+        """
+        self._clock += 1
+        for prefix in changed.prefixes():
+            if self._tree.is_populated(prefix):
+                self._tables[prefix] = build_view(
+                    self._tree, prefix, self._clock, self._policy
+                )
+            else:
+                self._tables.pop(prefix, None)
+        # (Re-)wire every node under the changed subtree: shared tables
+        # mean only identity updates, carrying delivery state over.
+        for address in self._tree.members():
+            views = {
+                prefix.depth: self._tables[prefix]
+                for prefix in address.prefixes()
+            }
+            existing = self._nodes.get(address)
+            if existing is None:
+                self._nodes[address] = PmcastNode(
+                    address,
+                    self._tree.interest_of(address),
+                    views,
+                    self._config,
+                )
+            else:
+                for depth, table in views.items():
+                    existing.replace_view(depth, table)
+
+    def _as_group(self) -> PmcastGroup:
+        return PmcastGroup(
+            self._tree, dict(self._tables), dict(self._nodes), self._config
+        )

@@ -1,0 +1,197 @@
+"""The round-synchronous simulation engine (§4.1, §5).
+
+"The stochastic analysis [...] is based on the assumption that
+processes gossip in synchronous rounds, and there is an upper bound on
+the network latency which is smaller than a gossip period P."
+
+One round therefore is: (1) crash the processes scheduled to crash,
+(2) every live process fires its GOSSIP task (over the buffer state
+left by the previous round's receptions), (3) the lossy network drops
+each envelope independently with probability ε, (4) survivors are
+received.  The run ends when every node is idle (passive garbage
+collection emptied all buffers) or at the ``max_rounds`` safety cap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.addressing import Address, distance
+from repro.config import SimConfig
+from repro.core.context import GossipContext
+from repro.core.messages import Envelope
+from repro.errors import SimulationError
+from repro.interests.events import Event
+from repro.sim.crashes import CrashSchedule
+from repro.sim.group import PmcastGroup
+from repro.sim.metrics import DisseminationReport
+from repro.sim.network import LossyNetwork
+from repro.sim.rng import derive_rng
+from repro.sim.trace import TraceLog
+
+__all__ = ["run_dissemination"]
+
+
+def run_dissemination(
+    group: PmcastGroup,
+    publisher: Address,
+    event: Event,
+    sim_config: Optional[SimConfig] = None,
+    crash_schedule: Optional[CrashSchedule] = None,
+    network: Optional[LossyNetwork] = None,
+    trace: Optional[TraceLog] = None,
+) -> DisseminationReport:
+    """Multicast one event through the group and measure the outcome.
+
+    Args:
+        group: the wired group (see :class:`~repro.sim.group.PmcastGroup`).
+        publisher: the PMCAST-ing process.
+        event: the event to multicast.
+        sim_config: environment (loss ε, crash τ, seed, round cap).
+        crash_schedule: explicit crash plan; when omitted, one is
+            sampled from ``sim_config.crash_fraction`` over a horizon of
+            ``max_rounds`` (the analysis model's τ).
+        network: an externally configured network (e.g. with partition
+            rules); by default a fresh :class:`LossyNetwork` with
+            ``sim_config.loss_probability``.
+        trace: optional :class:`~repro.sim.trace.TraceLog` receiving one
+            record per publish/send/loss/receive/delivery.
+
+    Returns:
+        the :class:`~repro.sim.metrics.DisseminationReport` of the run.
+    """
+    sim_config = sim_config or SimConfig()
+    gossip_rng = derive_rng(sim_config.seed, "gossip", event.event_id)
+    if network is None:
+        network = LossyNetwork(
+            sim_config.loss_probability,
+            derive_rng(sim_config.seed, "network", event.event_id),
+        )
+    if crash_schedule is None:
+        crash_schedule = CrashSchedule.sample(
+            group.addresses(),
+            sim_config.crash_fraction,
+            horizon=sim_config.max_rounds,
+            rng=derive_rng(sim_config.seed, "crash", event.event_id),
+        )
+
+    ctx = GossipContext(gossip_rng, threshold_h=group.config.threshold_h)
+    origin = group.node(publisher)
+    if not origin.alive:
+        raise SimulationError(f"publisher {publisher} has crashed")
+
+    # Ground truth for the metrics, before anybody crashes.
+    interested = set(group.interested_members(event))
+    sent_before = sum(node.messages_sent for node in group.nodes())
+    receptions_before = sum(node.receptions for node in group.nodes())
+
+    origin.pmcast(event, ctx)
+    if trace is not None:
+        trace.record(0, "publish", publisher, event_id=event.event_id)
+        if origin.has_delivered(event):
+            trace.record(0, "deliver", publisher, event_id=event.event_id)
+
+    active: Set[Address] = {publisher}
+    infected: Set[Address] = {publisher}
+    infection_curve: List[int] = []
+    tree_depth = group.tree.depth
+    messages_by_distance = [0] * tree_depth
+    rounds = 0
+    for round_index in range(sim_config.max_rounds):
+        for victim in crash_schedule.crashes_at(round_index):
+            node = group.node(victim)
+            node.alive = False
+            active.discard(victim)
+        if not active:
+            break
+        rounds = round_index + 1
+
+        envelopes: List[Envelope] = []
+        for address in list(active):
+            node = group.node(address)
+            envelopes.extend(node.gossip_step(ctx))
+            if node.is_idle:
+                active.discard(address)
+        for envelope in envelopes:
+            hops = distance(envelope.message.sender, envelope.destination)
+            messages_by_distance[max(hops, 1) - 1] += 1
+
+        delivered_envelopes = network.transmit(envelopes)
+        if trace is not None:
+            arrived = {id(envelope) for envelope in delivered_envelopes}
+            for envelope in envelopes:
+                kind = "send" if id(envelope) in arrived else "loss"
+                trace.record(
+                    rounds,
+                    kind,
+                    envelope.message.sender,
+                    peer=envelope.destination,
+                    event_id=envelope.message.event.event_id,
+                    depth=envelope.message.depth,
+                )
+        for envelope in delivered_envelopes:
+            receiver = group.node(envelope.destination)
+            freshly_delivered = (
+                trace is not None
+                and not receiver.has_delivered(envelope.message.event)
+            )
+            receiver.receive(envelope.message, ctx)
+            if trace is not None:
+                trace.record(
+                    rounds,
+                    "receive",
+                    envelope.destination,
+                    peer=envelope.message.sender,
+                    event_id=envelope.message.event.event_id,
+                    depth=envelope.message.depth,
+                )
+                if freshly_delivered and receiver.has_delivered(
+                    envelope.message.event
+                ):
+                    trace.record(
+                        rounds,
+                        "deliver",
+                        envelope.destination,
+                        event_id=envelope.message.event.event_id,
+                    )
+            if receiver.alive:
+                infected.add(envelope.destination)
+                if not receiver.is_idle:
+                    active.add(envelope.destination)
+
+        infection_curve.append(len(infected))
+
+    delivered_interested = sum(
+        1 for address in interested if group.node(address).has_delivered(event)
+    )
+    uninterested = [
+        address
+        for address in group.addresses()
+        if address not in interested and address != publisher
+    ]
+    received_uninterested = sum(
+        1 for address in uninterested if group.node(address).has_received(event)
+    )
+    received_total = len(infected)
+    messages_sent = (
+        sum(node.messages_sent for node in group.nodes()) - sent_before
+    )
+    receptions = (
+        sum(node.receptions for node in group.nodes()) - receptions_before
+    )
+    first_receptions = received_total - 1  # the publisher never receives
+    return DisseminationReport(
+        group_size=group.size,
+        interested=len(interested),
+        uninterested=len(uninterested),
+        delivered_interested=delivered_interested,
+        received_uninterested=received_uninterested,
+        received_total=received_total,
+        crashed=crash_schedule.victim_count,
+        rounds=rounds,
+        messages_sent=messages_sent,
+        messages_lost=network.messages_lost,
+        duplicate_receptions=max(receptions - first_receptions, 0),
+        infection_curve=tuple(infection_curve),
+        messages_by_distance=tuple(messages_by_distance),
+    )

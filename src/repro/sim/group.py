@@ -1,0 +1,120 @@
+"""Building a runnable pmcast group.
+
+:class:`PmcastGroup` assembles the whole stack for a set of members:
+the :class:`~repro.membership.tree.MembershipTree`, the converged view
+tables (shared per prefix — every process of a subgroup sees the same
+converged table, see :mod:`repro.membership.knowledge`), and one
+:class:`~repro.core.node.PmcastNode` per member.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.addressing import Address, Prefix
+from repro.config import PmcastConfig
+from repro.core.node import PmcastNode
+from repro.errors import SimulationError
+from repro.interests.events import Event
+from repro.interests.regrouping import RegroupPolicy
+from repro.interests.subscriptions import Interest
+from repro.membership.knowledge import build_all_views
+from repro.membership.tree import MembershipTree
+from repro.membership.views import ViewTable
+
+__all__ = ["PmcastGroup"]
+
+
+class PmcastGroup:
+    """A fully wired group of pmcast nodes.
+
+    Build with :meth:`PmcastGroup.build`; then hand it to
+    :func:`repro.sim.engine.run_dissemination` (or drive the nodes
+    yourself for custom experiments).
+    """
+
+    def __init__(
+        self,
+        tree: MembershipTree,
+        tables: Dict[Prefix, ViewTable],
+        nodes: Dict[Address, PmcastNode],
+        config: PmcastConfig,
+    ):
+        self._tree = tree
+        self._tables = tables
+        self._nodes = nodes
+        self._config = config
+
+    @classmethod
+    def build(
+        cls,
+        members: Mapping[Address, Interest],
+        config: Optional[PmcastConfig] = None,
+        regroup_policy: Optional[RegroupPolicy] = None,
+    ) -> "PmcastGroup":
+        """Wire a group from a member -> interest mapping.
+
+        Args:
+            members: every process with its subscription.
+            config: protocol parameters (defaults to
+                :class:`~repro.config.PmcastConfig`'s defaults).
+            regroup_policy: interest-regrouping compaction (exact union
+                by default).
+        """
+        if not members:
+            raise SimulationError("cannot build an empty group")
+        config = config or PmcastConfig()
+        tree = MembershipTree.build(members, redundancy=config.redundancy)
+        tables = build_all_views(tree, policy=regroup_policy)
+        nodes: Dict[Address, PmcastNode] = {}
+        for address, interest in members.items():
+            views = {
+                prefix.depth: tables[prefix] for prefix in address.prefixes()
+            }
+            nodes[address] = PmcastNode(address, interest, views, config)
+        return cls(tree, tables, nodes, config)
+
+    @property
+    def tree(self) -> MembershipTree:
+        """The membership ground truth."""
+        return self._tree
+
+    @property
+    def config(self) -> PmcastConfig:
+        """The protocol parameters shared by all nodes."""
+        return self._config
+
+    @property
+    def size(self) -> int:
+        """The number of processes n."""
+        return len(self._nodes)
+
+    def node(self, address: Address) -> PmcastNode:
+        """The node at ``address``."""
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise SimulationError(f"{address} is not in the group") from None
+
+    def nodes(self) -> Iterator[PmcastNode]:
+        """All nodes (unspecified order)."""
+        return iter(self._nodes.values())
+
+    def addresses(self) -> List[Address]:
+        """All member addresses, sorted."""
+        return sorted(self._nodes)
+
+    def table(self, prefix: Prefix) -> ViewTable:
+        """The shared converged view table of a populated prefix."""
+        try:
+            return self._tables[prefix]
+        except KeyError:
+            raise SimulationError(f"no view table for prefix {prefix}") from None
+
+    def interested_members(self, event: Event) -> List[Address]:
+        """Ground truth: members whose own interest matches ``event``."""
+        return [
+            address
+            for address in sorted(self._nodes)
+            if self._tree.interest_of(address).matches(event)
+        ]

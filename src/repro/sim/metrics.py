@@ -1,0 +1,163 @@
+"""Dissemination metrics: what Figures 4–7 measure.
+
+* **delivery ratio** — the fraction of *interested* processes that
+  HPDELIVERed the event (Figure 4's "Probability of Delivery",
+  estimated over processes/trials);
+* **false-reception ratio** — the fraction of *uninterested* processes
+  that nevertheless received the event (Figure 5's "Probability of
+  Reception"): delegates gossiping on behalf of interested subtrees,
+  plus any §5.3 conscripts;
+* message accounting for the scalability claims (messages sent, lost,
+  duplicate receptions).
+
+The publisher is excluded from the uninterested denominator (it
+trivially "receives" its own event) but participates in the interested
+one like any other process.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["DisseminationReport", "summarize_reports", "ReportSummary"]
+
+
+@dataclass(frozen=True)
+class DisseminationReport:
+    """Everything measured about one event's dissemination.
+
+    Attributes:
+        group_size: n — total processes at the start of the run.
+        interested: how many processes were interested in the event.
+        uninterested: processes not interested (publisher excluded).
+        delivered_interested: interested processes that delivered.
+        received_uninterested: uninterested processes that received.
+        received_total: processes that received the event at all.
+        crashed: processes that crashed during the run (f).
+        rounds: simulation rounds until the group went idle.
+        messages_sent: total gossip envelopes handed to the network.
+        messages_lost: envelopes dropped by the network.
+        duplicate_receptions: receptions beyond each process's first.
+        infection_curve: per-round cumulative count of processes that
+            have received the event (index 0 = after round 0).
+        messages_by_distance: gossip envelopes grouped by the §2.2
+            sender-destination distance (index i = distance i + 1).
+            Distance d messages cross the widest network boundary —
+            §3.1's claim is that pmcast keeps these rare relative to
+            local traffic, unlike flat gossip.
+    """
+
+    group_size: int
+    interested: int
+    uninterested: int
+    delivered_interested: int
+    received_uninterested: int
+    received_total: int
+    crashed: int
+    rounds: int
+    messages_sent: int
+    messages_lost: int
+    duplicate_receptions: int
+    infection_curve: Tuple[int, ...] = ()
+    messages_by_distance: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.delivered_interested > self.interested:
+            raise SimulationError(
+                "delivered_interested exceeds the interested population"
+            )
+        if self.received_uninterested > self.uninterested:
+            raise SimulationError(
+                "received_uninterested exceeds the uninterested population"
+            )
+        if self.messages_lost > self.messages_sent:
+            raise SimulationError("lost more messages than were sent")
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Figure 4's estimator: delivered / interested (1.0 if none)."""
+        if self.interested == 0:
+            return 1.0
+        return self.delivered_interested / self.interested
+
+    @property
+    def false_reception_ratio(self) -> float:
+        """Figure 5's estimator: uninterested receivers / uninterested."""
+        if self.uninterested == 0:
+            return 0.0
+        return self.received_uninterested / self.uninterested
+
+    @property
+    def network_overhead(self) -> float:
+        """Messages per process actually interested (cost-of-delivery)."""
+        return self.messages_sent / max(self.interested, 1)
+
+    @property
+    def boundary_crossing_fraction(self) -> float:
+        """Fraction of traffic at the maximum distance (widest boundary).
+
+        §3.1's topology claim in one number: pmcast should keep this
+        small, flat gossip spreads traffic uniformly over distances.
+        """
+        total = sum(self.messages_by_distance)
+        if total == 0:
+            return 0.0
+        return self.messages_by_distance[-1] / total
+
+
+@dataclass(frozen=True)
+class ReportSummary:
+    """Mean and spread of a metric across repeated trials."""
+
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    trials: int
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.trials < 1:
+            return 0.0
+        return self.stddev / math.sqrt(self.trials)
+
+
+def _summary(values: Sequence[float]) -> ReportSummary:
+    if not values:
+        raise SimulationError("cannot summarize zero trials")
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((value - mean) ** 2 for value in values) / count
+    return ReportSummary(
+        mean=mean,
+        stddev=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+        trials=count,
+    )
+
+
+def summarize_reports(
+    reports: Sequence[DisseminationReport],
+) -> Dict[str, ReportSummary]:
+    """Aggregate repeated trials into per-metric summaries.
+
+    Returns summaries for ``delivery_ratio``, ``false_reception_ratio``,
+    ``rounds``, ``messages_sent`` and ``network_overhead``.
+    """
+    if not reports:
+        raise SimulationError("cannot summarize zero reports")
+    return {
+        "delivery_ratio": _summary([r.delivery_ratio for r in reports]),
+        "false_reception_ratio": _summary(
+            [r.false_reception_ratio for r in reports]
+        ),
+        "rounds": _summary([float(r.rounds) for r in reports]),
+        "messages_sent": _summary([float(r.messages_sent) for r in reports]),
+        "network_overhead": _summary([r.network_overhead for r in reports]),
+    }

@@ -1,0 +1,104 @@
+"""The lossy network of the analysis model (§4.1).
+
+"The probability of a network message loss is ε > 0."  Each envelope is
+dropped independently with probability ε; there is no reordering issue
+because the model is round-synchronous (latency bound < gossip period
+P), so everything transmitted in a round is either delivered within
+that round or lost.
+
+:class:`LossyNetwork` also supports deterministic *link rules* (drop
+every message between two address sets) for partition-style failure
+injection in the tests — a strict superset of the paper's model that
+defaults to off.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Set
+
+from repro.addressing import Address
+from repro.core.messages import Envelope
+from repro.errors import SimulationError
+
+__all__ = ["LossyNetwork"]
+
+LinkRule = Callable[[Address, Address], bool]
+
+
+class LossyNetwork:
+    """Per-message Bernoulli loss, plus optional deterministic drops.
+
+    Args:
+        loss_probability: ε — i.i.d. drop probability per message.
+        rng: the loss stream.
+    """
+
+    def __init__(self, loss_probability: float, rng: random.Random):
+        if not 0.0 <= loss_probability < 1.0:
+            raise SimulationError(
+                f"loss probability {loss_probability} not in [0, 1)"
+            )
+        self._loss_probability = loss_probability
+        self._rng = rng
+        self._blocked: List[LinkRule] = []
+        self._sent = 0
+        self._lost = 0
+
+    @property
+    def loss_probability(self) -> float:
+        """ε, the i.i.d. message-loss probability."""
+        return self._loss_probability
+
+    @property
+    def messages_sent(self) -> int:
+        """Envelopes handed to the network so far."""
+        return self._sent
+
+    @property
+    def messages_lost(self) -> int:
+        """Envelopes dropped (random loss or partitions)."""
+        return self._lost
+
+    def block(self, rule: LinkRule) -> None:
+        """Install a deterministic drop rule (failure injection)."""
+        self._blocked.append(rule)
+
+    def partition(self, side_a: Set[Address], side_b: Set[Address]) -> None:
+        """Drop all traffic between two address sets (both directions)."""
+        overlap = side_a & side_b
+        if overlap:
+            raise SimulationError(
+                f"partition sides overlap on {sorted(overlap)[:3]}"
+            )
+
+        def rule(sender: Address, destination: Address) -> bool:
+            return (sender in side_a and destination in side_b) or (
+                sender in side_b and destination in side_a
+            )
+
+        self.block(rule)
+
+    def heal(self) -> None:
+        """Remove all deterministic drop rules."""
+        self._blocked.clear()
+
+    def transmit(self, envelopes: Iterable[Envelope]) -> List[Envelope]:
+        """Deliver the surviving subset of ``envelopes``, in order."""
+        delivered: List[Envelope] = []
+        for envelope in envelopes:
+            self._sent += 1
+            if any(
+                rule(envelope.message.sender, envelope.destination)
+                for rule in self._blocked
+            ):
+                self._lost += 1
+                continue
+            if (
+                self._loss_probability > 0.0
+                and self._rng.random() < self._loss_probability
+            ):
+                self._lost += 1
+                continue
+            delivered.append(envelope)
+        return delivered

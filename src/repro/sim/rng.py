@@ -1,0 +1,28 @@
+"""Deterministic random streams for reproducible simulations.
+
+Every run derives independent :class:`random.Random` streams from one
+master seed and a textual label, so that e.g. the network-loss stream
+and the gossip-destination stream cannot perturb each other when a
+parameter changes — a standard variance-reduction and reproducibility
+practice for discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["derive_rng", "derive_seed"]
+
+
+def derive_seed(master_seed: int, *labels: object) -> int:
+    """A 64-bit seed derived stably from a master seed and labels."""
+    digest = hashlib.sha256(
+        repr((master_seed,) + labels).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_rng(master_seed: int, *labels: object) -> random.Random:
+    """An independent :class:`random.Random` for one labelled stream."""
+    return random.Random(derive_seed(master_seed, *labels))

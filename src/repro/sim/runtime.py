@@ -1,0 +1,377 @@
+"""A long-running group: dissemination + membership management together.
+
+:func:`repro.sim.engine.run_dissemination` measures one event over a
+*static* group.  :class:`GroupRuntime` is the live system of §2.3: in
+every round, alongside the Figure 3 event gossip,
+
+* each process runs one **gossip-pull** membership exchange — with a
+  random immediate neighbor (its depth-d subgroup) and with a random
+  more distant peer ("membership information can be piggybacked when
+  gossiping events, or [...] propagated with dedicated gossips");
+* each process feeds its **failure detector** from every contact: a
+  received event gossip or a membership exchange both prove the sender
+  alive ("every process keeps track of the last time it was contacted
+  by its most immediate neighbor processes");
+* when every live neighbor of a silent process has been suspecting it
+  past the timeout (the §6 leaf-subgroup *agreement* hardening, via
+  :class:`~repro.membership.failure_detector.SuspicionQuorum`), the
+  process is **excluded**: removed from the membership and from the
+  views along its prefix path.
+
+Processes crash silently through :meth:`GroupRuntime.crash`; the
+runtime exposes how long detection and exclusion took, and publishes
+keep flowing before, during and after.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.addressing import Address, Prefix
+from repro.config import PmcastConfig, SimConfig
+from repro.core.context import GossipContext
+from repro.core.messages import Envelope
+from repro.core.node import PmcastNode
+from repro.errors import MembershipError, SimulationError
+from repro.interests.events import Event
+from repro.interests.subscriptions import Interest
+from repro.membership.failure_detector import FailureDetector, SuspicionQuorum
+from repro.membership.gossip_pull import MembershipState, exchange
+from repro.membership.knowledge import build_process_views, build_view
+from repro.membership.tree import MembershipTree
+from repro.membership.views import ViewTable
+from repro.sim.network import LossyNetwork
+from repro.sim.rng import derive_rng
+
+__all__ = ["GroupRuntime"]
+
+
+class GroupRuntime:
+    """A running pmcast group with live membership management.
+
+    Args:
+        members: initial member -> interest mapping.
+        config: protocol parameters.
+        sim_config: loss/seed environment.
+        detector_timeout: rounds of silence before a neighbor suspects
+            a process (§2.3).
+        exclusion_quorum: how many distinct neighbors must concur
+            before exclusion; ``None`` requires *all* live neighbors
+            (the §6 agreement variant).
+        piggyback_membership: when True, every delivered event gossip
+            also carries membership information — the receiver pulls
+            from the sender's replica ("membership information can be
+            piggybacked when gossiping events", §2.3), accelerating
+            view convergence wherever events already flow.
+    """
+
+    def __init__(
+        self,
+        members: Dict[Address, Interest],
+        config: Optional[PmcastConfig] = None,
+        sim_config: Optional[SimConfig] = None,
+        detector_timeout: int = 12,
+        exclusion_quorum: Optional[int] = None,
+        piggyback_membership: bool = False,
+    ):
+        if not members:
+            raise SimulationError("cannot start an empty runtime")
+        self._config = config or PmcastConfig()
+        self._sim_config = sim_config or SimConfig()
+        self._detector_timeout = detector_timeout
+        self._exclusion_quorum = exclusion_quorum
+        self._piggyback_membership = piggyback_membership
+        self._tree = MembershipTree.build(members, self._config.redundancy)
+        self._clock = 0
+        self._round = 0
+        self._tables: Dict[Prefix, ViewTable] = {}
+        self._nodes: Dict[Address, PmcastNode] = {}
+        self._replicas: Dict[Address, MembershipState] = {}
+        self._detectors: Dict[Address, FailureDetector] = {}
+        self._quorums: Dict[Address, SuspicionQuorum] = {}
+        self._excluded_at: Dict[Address, int] = {}
+        self._crashed: Set[Address] = set()
+        self._ctx = GossipContext(
+            derive_rng(self._sim_config.seed, "runtime-gossip"),
+            threshold_h=self._config.threshold_h,
+        )
+        self._network = LossyNetwork(
+            self._sim_config.loss_probability,
+            derive_rng(self._sim_config.seed, "runtime-network"),
+        )
+        self._membership_rng = derive_rng(
+            self._sim_config.seed, "runtime-membership"
+        )
+        for address in self._tree.members():
+            self._wire(address)
+        for address in self._tree.members():
+            self._watch_neighbors(address)
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def round(self) -> int:
+        """Rounds executed so far."""
+        return self._round
+
+    @property
+    def size(self) -> int:
+        """Live membership size (excluded processes removed)."""
+        return self._tree.size
+
+    @property
+    def tree(self) -> MembershipTree:
+        """The current membership ground truth."""
+        return self._tree
+
+    def node(self, address: Address) -> PmcastNode:
+        """The protocol node of a (possibly crashed) process."""
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise MembershipError(f"{address} has no node") from None
+
+    def exclusion_round(self, address: Address) -> Optional[int]:
+        """The round a crashed process was excluded, or None."""
+        return self._excluded_at.get(address)
+
+    def delivered_to(self, event: Event) -> List[Address]:
+        """Which processes have delivered ``event``."""
+        return sorted(
+            address
+            for address, node in self._nodes.items()
+            if node.has_delivered(event)
+        )
+
+    # -- mutation -----------------------------------------------------------
+
+    def publish(self, publisher: Address, event: Event) -> None:
+        """PMCAST ``event``; it disseminates over subsequent rounds."""
+        if publisher not in self._tree:
+            raise SimulationError(f"{publisher} is not a member")
+        node = self._nodes[publisher]
+        if not node.alive:
+            raise SimulationError(f"{publisher} has crashed")
+        node.pmcast(event, self._ctx)
+
+    def crash(self, address: Address) -> None:
+        """Silently crash a process (it stays in views until excluded)."""
+        node = self.node(address)
+        node.alive = False
+        self._crashed.add(address)
+
+    def join(self, address: Address, interest: Interest) -> None:
+        """Add a process to the running group (§2.3 join, converged).
+
+        The tree gains the member, the tables on its prefix path are
+        rebuilt at a fresh timestamp (what the contact-chain protocol
+        of :func:`repro.membership.lifecycle.join` converges to), every
+        node is re-wired onto the shared tables, and the newcomer and
+        its immediate neighbors start watching each other.
+        """
+        if address in self._tree:
+            raise SimulationError(f"{address} is already a member")
+        self._tree.add(address, interest)
+        self._refresh_path(address)
+        self._wire(address)
+        self._watch_neighbors(address)
+        for neighbor in self._live_neighbors(address):
+            self._detectors[neighbor].watch(address, now=self._round)
+
+    def leave(self, address: Address) -> None:
+        """Gracefully remove a process from the running group."""
+        if address not in self._tree:
+            raise SimulationError(f"{address} is not a member")
+        self._tree.remove(address)
+        self._crashed.discard(address)
+        self._nodes.pop(address, None)
+        self._replicas.pop(address, None)
+        self._detectors.pop(address, None)
+        self._quorums.pop(address, None)
+        self._refresh_path(address)
+        for detector in self._detectors.values():
+            detector.unwatch(address)
+
+    # -- the round loop -------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one round: event gossip, membership gossip, detection."""
+        self._round += 1
+        envelopes: List[Envelope] = []
+        for address, node in self._nodes.items():
+            if node.alive and address in self._tree:
+                envelopes.extend(node.gossip_step(self._ctx))
+        for envelope in self._network.transmit(envelopes):
+            receiver = self._nodes.get(envelope.destination)
+            if receiver is None or not receiver.alive:
+                continue
+            receiver.receive(envelope.message, self._ctx)
+            self._record_contact(
+                envelope.destination, envelope.message.sender
+            )
+            if self._piggyback_membership:
+                sender_replica = self._replicas.get(envelope.message.sender)
+                receiver_replica = self._replicas.get(envelope.destination)
+                if sender_replica is not None and receiver_replica is not None:
+                    exchange(receiver_replica, sender_replica)
+        self._membership_round()
+        self._detection_round()
+
+    def run(self, rounds: int) -> None:
+        """Execute several rounds."""
+        for __ in range(rounds):
+            self.step()
+
+    def run_until_idle(self, max_rounds: int = 256) -> int:
+        """Step until no event is buffered anywhere; returns rounds run."""
+        for executed in range(max_rounds):
+            if all(
+                node.is_idle or not node.alive
+                for node in self._nodes.values()
+            ):
+                return executed
+            self.step()
+        return max_rounds
+
+    # -- internals ---------------------------------------------------------
+
+    def _wire(self, address: Address) -> None:
+        """(Re)build node, replica and detector state for a member."""
+        views = {}
+        for prefix in address.prefixes():
+            if prefix not in self._tables:
+                self._tables[prefix] = build_view(
+                    self._tree, prefix, self._clock
+                )
+            views[prefix.depth] = self._tables[prefix]
+        existing = self._nodes.get(address)
+        if existing is None:
+            self._nodes[address] = PmcastNode(
+                address,
+                self._tree.interest_of(address),
+                views,
+                self._config,
+            )
+        else:
+            for depth, table in views.items():
+                existing.replace_view(depth, table)
+        if address not in self._replicas:
+            # The replica holds private clones: staleness is per-process.
+            self._replicas[address] = MembershipState(
+                address,
+                {
+                    depth: table.clone()
+                    for depth, table in build_process_views(
+                        self._tree, address, self._clock
+                    ).items()
+                },
+            )
+        if address not in self._detectors:
+            self._detectors[address] = FailureDetector(
+                address, self._detector_timeout
+            )
+
+    def _watch_neighbors(self, address: Address) -> None:
+        detector = self._detectors[address]
+        prefix = address.prefix(self._tree.depth)
+        for neighbor in self._tree.subtree_members(prefix):
+            if neighbor != address:
+                detector.watch(neighbor, now=self._round)
+
+    def _record_contact(self, owner: Address, sender: Address) -> None:
+        detector = self._detectors.get(owner)
+        if detector is not None:
+            detector.record_contact(sender, now=self._round)
+            quorum = self._quorums.get(sender)
+            if quorum is not None:
+                quorum.retract(sender, owner)
+
+    def _live_neighbors(self, address: Address) -> List[Address]:
+        prefix = address.prefix(self._tree.depth)
+        return [
+            neighbor
+            for neighbor in self._tree.subtree_members(prefix)
+            if neighbor != address and neighbor not in self._crashed
+        ]
+
+    def _membership_round(self) -> None:
+        """Dedicated membership gossips: one near pull, one far pull."""
+        for address in list(self._tree.members()):
+            if address in self._crashed:
+                continue
+            replica = self._replicas[address]
+            near = self._live_neighbors(address)
+            candidates: List[Address] = []
+            if near:
+                candidates.append(self._membership_rng.choice(near))
+            far = [
+                peer
+                for peer in replica.peers()
+                if peer in self._replicas and peer not in self._crashed
+            ]
+            if far:
+                candidates.append(self._membership_rng.choice(far))
+            for peer in candidates:
+                exchange(replica, self._replicas[peer])
+                # A pull is bidirectional contact: the peer answered.
+                self._record_contact(address, peer)
+                self._record_contact(peer, address)
+
+    def _detection_round(self) -> None:
+        """Collect suspicions; exclude once the quorum concurs.
+
+        Only *immediate neighbors* accuse (§2.3 monitors "its most
+        immediate neighbor processes"): a detector may hold stale
+        last-contact entries for distant peers it merely gossiped with
+        once, and those must not feed exclusions.
+        """
+        depth = self._tree.depth
+        for address in list(self._tree.members()):
+            if address in self._crashed:
+                continue
+            detector = self._detectors[address]
+            own_subgroup = address.prefix(depth)
+            for suspect in detector.suspects(self._round):
+                if suspect not in self._tree or suspect == address:
+                    continue
+                if suspect.prefix(depth) != own_subgroup:
+                    continue
+                quorum = self._quorums.get(suspect)
+                if quorum is None:
+                    required = self._exclusion_quorum or max(
+                        len(self._live_neighbors(suspect)), 1
+                    )
+                    quorum = SuspicionQuorum(required)
+                    self._quorums[suspect] = quorum
+                if quorum.accuse(suspect, address):
+                    self._exclude(suspect)
+                    break
+
+    def _refresh_path(self, address: Address) -> None:
+        """Rebuild the tables on a changed prefix path; re-wire nodes."""
+        # The gossip context memoizes matches by table identity; after a
+        # membership change old tables are garbage-collected and a new
+        # table could be allocated at a recycled id, silently hitting a
+        # stale cache entry.  Drop the whole cache on every change.
+        self._ctx.invalidate()
+        self._clock += 1
+        for prefix in address.prefixes():
+            if self._tree.is_populated(prefix):
+                self._tables[prefix] = build_view(
+                    self._tree, prefix, self._clock
+                )
+            else:
+                self._tables.pop(prefix, None)
+        for member in self._tree.members():
+            self._wire(member)
+
+    def _exclude(self, address: Address) -> None:
+        """Remove a convicted process; refresh its prefix path."""
+        if address not in self._tree:
+            return
+        self._tree.remove(address)
+        self._excluded_at[address] = self._round
+        self._quorums.pop(address, None)
+        self._refresh_path(address)
+        for detector in self._detectors.values():
+            detector.unwatch(address)

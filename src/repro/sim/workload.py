@@ -1,0 +1,163 @@
+"""Workload generation: interest assignments and synthetic events.
+
+The paper's evaluation uses the i.i.d. Bernoulli interest model of the
+analysis (§4.1): every process is interested in the observed event with
+probability ``p_d``, interests uniformly distributed over the group —
+:func:`bernoulli_interests`.
+
+Beyond that, the library provides:
+
+* :func:`clustered_interests` — topic locality: whole leaf subgroups
+  flip one coin with probability ``correlation``, modelling the
+  network/interest commonality the tree is designed to exploit (§1's
+  "commonalities in the interests of processes");
+* :func:`exact_count_interests` — exactly ``k`` interested processes
+  (variance-free ground truth for small-rate experiments);
+* :func:`random_subscriptions` / :func:`random_event` — a content-based
+  pub/sub universe in the style of Figure 2 (attributes ``b`` int,
+  ``c`` float, ``e`` string, ``z`` int) for end-to-end tests and the
+  examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence
+
+from repro.addressing import Address
+from repro.errors import SimulationError
+from repro.interests.events import Event
+from repro.interests.predicates import between, eq, ge, le, one_of
+from repro.interests.subscriptions import Interest, StaticInterest, Subscription
+
+__all__ = [
+    "bernoulli_interests",
+    "clustered_interests",
+    "exact_count_interests",
+    "random_subscriptions",
+    "random_event",
+]
+
+
+def bernoulli_interests(
+    addresses: Sequence[Address],
+    matching_rate: float,
+    rng: random.Random,
+) -> Dict[Address, Interest]:
+    """The analysis model: each process interested with probability p_d."""
+    if not 0.0 <= matching_rate <= 1.0:
+        raise SimulationError(f"matching rate {matching_rate} not in [0, 1]")
+    return {
+        address: StaticInterest(rng.random() < matching_rate)
+        for address in addresses
+    }
+
+
+def clustered_interests(
+    addresses: Sequence[Address],
+    matching_rate: float,
+    correlation: float,
+    rng: random.Random,
+) -> Dict[Address, Interest]:
+    """Interests correlated within leaf subgroups.
+
+    With probability ``correlation`` a process inherits its leaf
+    subgroup's shared coin (one flip per depth-d prefix); otherwise it
+    flips its own.  ``correlation = 0`` degenerates to the Bernoulli
+    model; ``correlation = 1`` makes whole leaf subgroups uniformly
+    interested or not — the friendliest case for the tree, since entire
+    subtrees can be skipped.
+    """
+    if not 0.0 <= matching_rate <= 1.0:
+        raise SimulationError(f"matching rate {matching_rate} not in [0, 1]")
+    if not 0.0 <= correlation <= 1.0:
+        raise SimulationError(f"correlation {correlation} not in [0, 1]")
+    subgroup_coin: Dict[object, bool] = {}
+    out: Dict[Address, Interest] = {}
+    for address in addresses:
+        prefix = address.prefix(address.depth)
+        if prefix not in subgroup_coin:
+            subgroup_coin[prefix] = rng.random() < matching_rate
+        if rng.random() < correlation:
+            interested = subgroup_coin[prefix]
+        else:
+            interested = rng.random() < matching_rate
+        out[address] = StaticInterest(interested)
+    return out
+
+
+def exact_count_interests(
+    addresses: Sequence[Address],
+    interested_count: int,
+    rng: random.Random,
+) -> Dict[Address, Interest]:
+    """Exactly ``interested_count`` uniformly chosen interested processes."""
+    if not 0 <= interested_count <= len(addresses):
+        raise SimulationError(
+            f"cannot make {interested_count} of {len(addresses)} "
+            "processes interested"
+        )
+    chosen = set(rng.sample(list(addresses), interested_count))
+    return {
+        address: StaticInterest(address in chosen) for address in addresses
+    }
+
+
+# -- a Figure 2 style content-based universe ----------------------------
+
+_NAMES = ("Bob", "Tom", "Alice", "Carol", "Dave", "Eve", "Frank", "Grace")
+
+
+def random_subscriptions(
+    addresses: Sequence[Address],
+    rng: random.Random,
+    selectivity: float = 0.5,
+) -> Dict[Address, Interest]:
+    """Random Figure 2 style subscriptions over attributes b, c, e, z.
+
+    Args:
+        addresses: the subscribers.
+        selectivity: roughly how permissive each constraint is; higher
+            means more events match each subscription.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise SimulationError(f"selectivity {selectivity} not in (0, 1]")
+    out: Dict[Address, Interest] = {}
+    for address in addresses:
+        constraints = {}
+        # Integer attribute b in [0, 10): threshold or exact value.
+        if rng.random() < 0.8:
+            if rng.random() < 0.5:
+                constraints["b"] = ge(rng.randrange(int(10 * (1 - selectivity)) + 1))
+            else:
+                constraints["b"] = eq(rng.randrange(10))
+        # Float attribute c in [0, 100): a window.
+        if rng.random() < 0.6:
+            width = max(100.0 * selectivity, 1.0)
+            lo = rng.uniform(0.0, 100.0 - width)
+            constraints["c"] = between(lo, lo + width)
+        # String attribute e: a small disjunction of names.
+        if rng.random() < 0.4:
+            count = max(1, round(len(_NAMES) * selectivity * rng.random()))
+            constraints["e"] = one_of(rng.sample(_NAMES, count))
+        # Integer attribute z in [0, 50000): one-sided bound.
+        if rng.random() < 0.3:
+            if rng.random() < 0.5:
+                constraints["z"] = le(rng.randrange(50000))
+            else:
+                constraints["z"] = ge(rng.randrange(50000))
+        out[address] = Subscription(constraints)
+    return out
+
+
+def random_event(rng: random.Random, event_id: Optional[int] = None) -> Event:
+    """One event of the Figure 2 universe."""
+    return Event(
+        {
+            "b": rng.randrange(10),
+            "c": rng.uniform(0.0, 100.0),
+            "e": rng.choice(_NAMES),
+            "z": rng.randrange(50000),
+        },
+        event_id=event_id,
+    )

@@ -1,0 +1,119 @@
+"""Tests for the Eq 16-17 reliability distributions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_tree
+from repro.analysis.distributions import (
+    delivered_count_distribution,
+    probability_reliability_at_least,
+    reliability_cdf,
+    reliability_quantile,
+)
+from repro.errors import AnalysisError
+
+
+def small_analysis(rate=0.8):
+    return analyze_tree(rate, 4, 2, 2, 2)
+
+
+class TestDeliveredCountDistribution:
+    def test_is_a_distribution(self):
+        distribution = delivered_count_distribution(small_analysis())
+        assert distribution.sum() == pytest.approx(1.0)
+        assert np.all(distribution >= 0.0)
+
+    def test_mean_tracks_eq18(self):
+        analysis = small_analysis()
+        distribution = delivered_count_distribution(analysis)
+        mean = float(distribution @ np.arange(len(distribution)))
+        assert mean == pytest.approx(
+            analysis.expected_infected_processes, rel=0.5
+        )
+
+    def test_full_interest_concentrates_high(self):
+        analysis = analyze_tree(1.0, 4, 2, 2, 3)
+        distribution = delivered_count_distribution(analysis)
+        counts = np.arange(len(distribution))
+        mean = float(distribution @ counts)
+        assert mean > 0.8 * 16
+
+
+class TestReliabilityCdf:
+    def test_cdf_monotone_to_one(self):
+        fractions, cdf = reliability_cdf(small_analysis())
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(fractions <= 1.0)
+
+    def test_tail_probability_consistency(self):
+        analysis = small_analysis()
+        assert probability_reliability_at_least(analysis, 0.0) == (
+            pytest.approx(1.0)
+        )
+        low = probability_reliability_at_least(analysis, 0.9)
+        mid = probability_reliability_at_least(analysis, 0.5)
+        assert low <= mid + 1e-12
+
+    def test_invalid_fraction(self):
+        with pytest.raises(AnalysisError):
+            probability_reliability_at_least(small_analysis(), 1.5)
+
+
+class TestReliabilityQuantile:
+    def test_quantile_monotone(self):
+        analysis = small_analysis()
+        strict = reliability_quantile(analysis, 0.95)
+        loose = reliability_quantile(analysis, 0.5)
+        assert strict <= loose + 1e-12
+
+    def test_quantile_bounds(self):
+        analysis = small_analysis()
+        value = reliability_quantile(analysis, 0.9)
+        assert 0.0 <= value <= 1.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(AnalysisError):
+            reliability_quantile(small_analysis(), 0.0)
+
+
+class TestAgainstSimulation:
+    def test_tail_probability_not_wildly_off(self):
+        """The model's P[reliability >= 0.8] vs the simulator's rate."""
+        from repro.addressing import AddressSpace
+        from repro.config import PmcastConfig, SimConfig
+        from repro.interests import Event
+        from repro.sim import (
+            PmcastGroup,
+            bernoulli_interests,
+            derive_rng,
+            run_dissemination,
+        )
+
+        rate, arity, depth, redundancy, fanout = 0.8, 4, 2, 2, 2
+        analysis = analyze_tree(rate, arity, depth, redundancy, fanout)
+        predicted = probability_reliability_at_least(analysis, 0.8)
+
+        addresses = AddressSpace.regular(arity, depth).enumerate_regular(
+            arity
+        )
+        hits = 0
+        trials = 20
+        for trial in range(trials):
+            rng = derive_rng(31, "dist", trial)
+            members = bernoulli_interests(addresses, rate, rng)
+            group = PmcastGroup.build(
+                members, PmcastConfig(fanout=fanout, redundancy=redundancy)
+            )
+            report = run_dissemination(
+                group,
+                rng.choice(addresses),
+                Event({}, event_id=40_000 + trial),
+                SimConfig(seed=40_000 + trial),
+            )
+            if report.delivery_ratio >= 0.8:
+                hits += 1
+        simulated = hits / trials
+        # The model is pessimistic; the simulator should do at least
+        # as well, and the two should live on the same order.
+        assert simulated >= predicted - 0.15

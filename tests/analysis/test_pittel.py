@@ -1,0 +1,37 @@
+"""Tests for the Eq 13 tree round totals."""
+
+import pytest
+
+from repro.analysis import pittel_rounds, tree_total_rounds
+from repro.errors import AnalysisError
+
+
+class TestTreeTotalRounds:
+    def test_sums_per_depth(self):
+        total, per_depth = tree_total_rounds(0.5, 10, 3, 3, 2)
+        assert len(per_depth) == 3
+        assert total == pytest.approx(sum(per_depth))
+
+    def test_tree_not_much_worse_than_flat(self):
+        # §4.3: "the tree does not have a considerable impact on the
+        # event dissemination procedure" — the pessimistic Eq 13 total
+        # stays within a small factor of the flat-group T_f(n, F).
+        arity, depth, fanout = 10, 3, 3
+        total, __ = tree_total_rounds(1.0, arity, depth, 3, fanout)
+        flat = pittel_rounds(arity ** depth, fanout)
+        assert total < 3 * flat
+
+    def test_small_rate_leaf_collapse(self):
+        # At p_d = 1/n the leaf estimate collapses to ~0 rounds — the
+        # §5.1 pathology the tuning exists for.
+        __, per_depth = tree_total_rounds(0.001, 10, 3, 3, 2)
+        assert per_depth[-1] == 0.0
+
+    def test_loss_increases_total(self):
+        clean, __ = tree_total_rounds(0.5, 10, 3, 3, 2)
+        lossy, __ = tree_total_rounds(0.5, 10, 3, 3, 2, loss_probability=0.3)
+        assert lossy > clean
+
+    def test_invalid_depth(self):
+        with pytest.raises(AnalysisError):
+            tree_total_rounds(0.5, 10, 0, 3, 2)

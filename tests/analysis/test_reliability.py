@@ -1,0 +1,51 @@
+"""Tests for the figure-level reliability/false-reception estimates."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_tree,
+    delivery_probability,
+    false_reception_estimate,
+)
+from repro.errors import AnalysisError
+
+
+class TestDeliveryProbability:
+    def test_matches_analyze_tree(self):
+        direct = analyze_tree(0.4, 10, 3, 3, 2).reliability_degree
+        assert delivery_probability(0.4, 10, 3, 3, 2) == pytest.approx(direct)
+
+    def test_reuses_precomputed_analysis(self):
+        analysis = analyze_tree(0.4, 10, 3, 3, 2)
+        assert delivery_probability(
+            0.4, 10, 3, 3, 2, analysis=analysis
+        ) == analysis.reliability_degree
+
+    def test_figure4_shape(self):
+        # Rising with p_d over the bulk of the range.
+        values = [
+            delivery_probability(rate, 22, 3, 3, 2)
+            for rate in (0.05, 0.2, 0.5, 1.0)
+        ]
+        assert values[0] < values[-1]
+        assert values[-1] > 0.9
+
+
+class TestFalseReceptionEstimate:
+    def test_bounded_like_figure5(self):
+        for rate in (0.02, 0.1, 0.3, 0.5, 0.9):
+            estimate = false_reception_estimate(rate, 22, 3, 3, 2)
+            assert 0.0 <= estimate <= 0.2
+
+    def test_zero_at_full_interest(self):
+        assert false_reception_estimate(1.0, 22, 3, 3, 2) == 0.0
+
+    def test_tuning_increases_false_receptions(self):
+        # The §5.3 compromise.
+        plain = false_reception_estimate(0.02, 22, 3, 3, 2)
+        tuned = false_reception_estimate(0.02, 22, 3, 3, 2, threshold_h=8)
+        assert tuned >= plain
+
+    def test_invalid_rate(self):
+        with pytest.raises(AnalysisError):
+            false_reception_estimate(1.5, 22, 3, 3, 2)

@@ -1,0 +1,100 @@
+"""Tests for the flat gossip baselines (§1 alternatives 1 and 2)."""
+
+import pytest
+
+from repro.addressing import AddressSpace
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.interests import Event, StaticInterest
+from repro.baselines import flat_genuine_multicast, flat_gossip_broadcast
+from repro.sim import CrashSchedule, bernoulli_interests, derive_rng
+
+
+def make_members(count_arity=5, rate=0.5, seed=0):
+    space = AddressSpace.regular(count_arity, 3)
+    addresses = space.enumerate_regular(count_arity)
+    return bernoulli_interests(addresses, rate, derive_rng(seed, "flat"))
+
+
+class TestFloodBroadcast:
+    def test_reliable_but_floods_everyone(self):
+        members = make_members(rate=0.3)
+        publisher = sorted(members)[0]
+        report = flat_gossip_broadcast(
+            members, publisher, Event({}), fanout=3, sim_config=SimConfig(seed=1)
+        )
+        assert report.delivery_ratio > 0.99
+        # The defining cost: nearly every uninterested process receives.
+        assert report.false_reception_ratio > 0.95
+
+    def test_interest_rate_does_not_change_message_count_much(self):
+        members_low = make_members(rate=0.1, seed=1)
+        members_high = make_members(rate=0.9, seed=1)
+        publisher = sorted(members_low)[0]
+        low = flat_gossip_broadcast(
+            members_low, publisher, Event({}, event_id=500), 3,
+            SimConfig(seed=2),
+        )
+        high = flat_gossip_broadcast(
+            members_high, publisher, Event({}, event_id=500), 3,
+            SimConfig(seed=2),
+        )
+        assert low.messages_sent == pytest.approx(high.messages_sent, rel=0.2)
+
+    def test_loss_tolerated(self):
+        members = make_members(rate=1.0)
+        publisher = sorted(members)[0]
+        report = flat_gossip_broadcast(
+            members, publisher, Event({}), 3,
+            SimConfig(seed=3, loss_probability=0.2),
+        )
+        assert report.delivery_ratio > 0.95
+        assert report.messages_lost > 0
+
+    def test_unknown_publisher_rejected(self):
+        from repro.addressing import Address
+
+        members = make_members()
+        with pytest.raises(SimulationError):
+            flat_gossip_broadcast(members, Address.parse("99.99.99"), Event({}))
+
+    def test_invalid_fanout_rejected(self):
+        members = make_members()
+        with pytest.raises(SimulationError):
+            flat_gossip_broadcast(members, sorted(members)[0], Event({}), 0)
+
+
+class TestGenuineMulticast:
+    def test_no_false_receptions_ever(self):
+        members = make_members(rate=0.4)
+        publisher = sorted(members)[0]
+        report = flat_genuine_multicast(
+            members, publisher, Event({}), 3, SimConfig(seed=4)
+        )
+        assert report.false_reception_ratio == 0.0
+        assert report.delivery_ratio > 0.95
+
+    def test_cheaper_than_flooding_at_low_rates(self):
+        members = make_members(rate=0.1, seed=5)
+        publisher = sorted(members)[0]
+        event = Event({}, event_id=600)
+        flood = flat_gossip_broadcast(
+            members, publisher, event, 3, SimConfig(seed=6)
+        )
+        genuine = flat_genuine_multicast(
+            members, publisher, event, 3, SimConfig(seed=6)
+        )
+        assert genuine.messages_sent < flood.messages_sent / 2
+
+    def test_crashes_accounted(self):
+        members = make_members(rate=1.0)
+        addresses = sorted(members)
+        schedule = CrashSchedule.at_start(addresses[1:4])
+        report = flat_genuine_multicast(
+            members, addresses[0], Event({}), 3, SimConfig(seed=7),
+            crash_schedule=schedule,
+        )
+        assert report.crashed == 3
+        assert report.delivery_ratio < 1.0   # victims cannot deliver
+        # But the bulk of survivors still deliver.
+        assert report.delivered_interested > 0.9 * (len(addresses) - 4)

@@ -1,0 +1,82 @@
+"""Tests for per-destination-subset broadcast groups (§1 alternative 3)."""
+
+import pytest
+
+from repro.addressing import Address, AddressSpace
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.interests import Event, StaticInterest, Subscription, eq, gt
+from repro.baselines import BroadcastGroupMapper
+
+
+def content_members():
+    space = AddressSpace.regular(3, 2)
+    members = {}
+    for index, address in enumerate(space.enumerate_regular(3)):
+        members[address] = Subscription({"b": gt(index % 5)})
+    return members
+
+
+class TestMapping:
+    def test_destination_subset_exact(self):
+        members = content_members()
+        mapper = BroadcastGroupMapper(members)
+        subset = mapper.destination_subset(Event({"b": 3}))
+        expected = {
+            address
+            for address, subscription in members.items()
+            if subscription.matches(Event({"b": 3}))
+        }
+        assert subset == expected
+
+    def test_groups_memoized_per_subset(self):
+        mapper = BroadcastGroupMapper(content_members())
+        first, created_first = mapper.group_for(Event({"b": 3}))
+        second, created_second = mapper.group_for(Event({"b": 3}))
+        assert created_first and not created_second
+        assert first == second
+        assert mapper.group_count == 1
+
+    def test_group_count_grows_with_distinct_subsets(self):
+        mapper = BroadcastGroupMapper(content_members())
+        for b in range(6):
+            mapper.group_for(Event({"b": b}))
+        # b in 0..5 against thresholds 0..4 gives several distinct
+        # subsets (the 2^n-bounded blow-up in miniature).
+        assert mapper.group_count >= 4
+
+    def test_churn_invalidates_everything(self):
+        mapper = BroadcastGroupMapper(content_members())
+        mapper.group_for(Event({"b": 3}))
+        assert mapper.group_count == 1
+        mapper.update_member(Address((0, 0)), Subscription({"b": eq(1)}))
+        assert mapper.group_count == 0
+        assert mapper.rebuild_count == 1
+        mapper.remove_member(Address((0, 1)))
+        assert mapper.rebuild_count == 2
+
+    def test_remove_unknown_rejected(self):
+        mapper = BroadcastGroupMapper(content_members())
+        with pytest.raises(SimulationError):
+            mapper.remove_member(Address((9, 9)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            BroadcastGroupMapper({})
+
+
+class TestMulticast:
+    def test_perfect_targeting(self):
+        space = AddressSpace.regular(4, 2)
+        members = {
+            address: StaticInterest(address.components[0] < 2)
+            for address in space.enumerate_regular(4)
+        }
+        mapper = BroadcastGroupMapper(members)
+        publisher = Address((0, 0))
+        report, group_id, created = mapper.multicast(
+            publisher, Event({}), fanout=3, sim_config=SimConfig(seed=1)
+        )
+        assert created and group_id == 0
+        assert report.false_reception_ratio == 0.0
+        assert report.delivery_ratio > 0.95

@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro.bench`` CLI."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCli:
+    def test_requires_figure_selection(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_single_figure_quick(self, capsys):
+        code = main(["--figure", "4", "--arity", "4", "--trials", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Figure 4" in captured.out
+        assert "simulated" in captured.out
+
+    def test_figure7_threshold_flag(self, capsys):
+        code = main(
+            ["--figure", "7", "--arity", "4", "--trials", "1",
+             "--threshold", "5"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "h=5" in captured.out
+
+    def test_figure6_arity_override(self, capsys):
+        code = main(["--figure", "6", "--arity", "5", "--trials", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Figure 6" in captured.out
+
+    def test_repeatable_figure_flag(self, capsys):
+        code = main(
+            ["--figure", "4", "--figure", "5", "--arity", "4",
+             "--trials", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Figure 4" in captured.out
+        assert "Figure 5" in captured.out
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "9"])

@@ -1,0 +1,61 @@
+"""Tests for the figure result containers."""
+
+import pytest
+
+from repro.bench import FigureResult, Series
+from repro.errors import ReproError
+
+
+class TestSeries:
+    def test_coordinates(self):
+        series = Series.from_pairs("s", [(0.1, 0.5), (0.2, 0.9)])
+        assert series.xs == (0.1, 0.2)
+        assert series.ys == (0.5, 0.9)
+
+    def test_y_at(self):
+        series = Series.from_pairs("s", [(0.1, 0.5)])
+        assert series.y_at(0.1) == 0.5
+        with pytest.raises(ReproError):
+            series.y_at(0.3)
+
+
+class TestFigureResult:
+    def make_result(self):
+        result = FigureResult(
+            figure="Figure X",
+            title="Test",
+            x_label="p_d",
+            y_label="P",
+            parameters={"n": 100},
+        )
+        result.add_series(Series.from_pairs("a", [(0.1, 0.5), (0.2, 0.6)]))
+        result.add_series(Series.from_pairs("b", [(0.1, 0.4), (0.2, 0.3)]))
+        return result
+
+    def test_get_series(self):
+        result = self.make_result()
+        assert result.get_series("a").y_at(0.2) == 0.6
+        with pytest.raises(ReproError):
+            result.get_series("missing")
+
+    def test_render_contains_rows_and_header(self):
+        rendered = self.make_result().render(precision=2)
+        assert "Figure X" in rendered
+        assert "n=100" in rendered
+        assert "p_d" in rendered and " a " in rendered
+        assert "0.1" in rendered and "0.60" in rendered
+
+    def test_render_notes(self):
+        result = self.make_result()
+        result.notes.append("shape holds")
+        assert "note: shape holds" in result.render()
+
+    def test_render_rejects_mismatched_grids(self):
+        result = self.make_result()
+        result.add_series(Series.from_pairs("c", [(0.9, 1.0)]))
+        with pytest.raises(ReproError):
+            result.render()
+
+    def test_render_rejects_empty(self):
+        with pytest.raises(ReproError):
+            FigureResult("F", "t", "x", "y").render()

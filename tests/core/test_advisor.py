@@ -1,0 +1,80 @@
+"""Tests for the analysis-driven parameter advisor (§3.3 / §5.3)."""
+
+import pytest
+
+from repro.core.advisor import Recommendation, recommend_parameters
+from repro.errors import ConfigError
+
+
+class TestRecommendParameters:
+    def test_easy_target_cheap_config(self):
+        rec = recommend_parameters(
+            arity=10, depth=3, target_reliability=0.8,
+            matching_rates=(0.5, 1.0),
+        )
+        assert rec.achieved
+        assert rec.config.fanout <= 3
+        assert rec.worst_case >= 0.8
+
+    def test_small_rates_force_tuning(self):
+        # At p_d = 0.01 the untuned model predicts ~0.03 delivery (the
+        # §5.1 collapse); any target above that forces the advisor to
+        # reach for the §5.3 threshold.
+        rec = recommend_parameters(
+            arity=22, depth=3, target_reliability=0.15,
+            matching_rates=(0.01,), max_fanout=4,
+        )
+        assert rec.achieved
+        assert rec.config.threshold_h > 0
+
+    def test_loss_environment_wired_into_config(self):
+        rec = recommend_parameters(
+            arity=10, depth=3, target_reliability=0.6,
+            matching_rates=(0.5,), loss_probability=0.1,
+        )
+        assert rec.config.loss_aware_rounds
+        assert rec.config.assumed_loss == 0.1
+
+    def test_unachievable_target_reported(self):
+        # Eq 18 itself caps small-rate reliability around p1*p2*p3/p_d
+        # (~0.2 here): a 0.9 target at p_d = 0.01 is beyond the model
+        # no matter the parameters, and the advisor must say so.
+        rec = recommend_parameters(
+            arity=22, depth=3, target_reliability=0.9,
+            matching_rates=(0.01,), max_fanout=3,
+        )
+        assert not rec.achieved
+        assert isinstance(rec, Recommendation)
+        assert rec.worst_case < 0.9
+
+    def test_higher_target_never_cheaper(self):
+        cheap = recommend_parameters(
+            arity=10, depth=3, target_reliability=0.5,
+            matching_rates=(0.5,),
+        )
+        strict = recommend_parameters(
+            arity=10, depth=3, target_reliability=0.93,
+            matching_rates=(0.5,),
+        )
+        assert (
+            strict.config.fanout,
+            strict.config.threshold_h,
+            strict.config.pittel_c,
+        ) >= (
+            cheap.config.fanout,
+            cheap.config.threshold_h,
+            cheap.config.pittel_c,
+        )
+
+    def test_prediction_covers_every_rate(self):
+        rates = (0.1, 0.4, 0.9)
+        rec = recommend_parameters(
+            arity=8, depth=3, target_reliability=0.5, matching_rates=rates
+        )
+        assert set(rec.predicted_delivery) == set(rates)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            recommend_parameters(10, 3, target_reliability=0.0)
+        with pytest.raises(ConfigError):
+            recommend_parameters(10, 3, 0.9, matching_rates=())

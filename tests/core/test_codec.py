@@ -1,0 +1,230 @@
+"""Round-trip tests for the wire codec."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing import Address, Prefix
+from repro.core.codec import (
+    decode_address,
+    decode_event,
+    decode_interest,
+    decode_message,
+    decode_prefix,
+    decode_view_row,
+    decode_view_table,
+    encode_address,
+    encode_event,
+    encode_interest,
+    encode_message,
+    encode_prefix,
+    encode_view_row,
+    encode_view_table,
+)
+from repro.core.messages import GossipMessage
+from repro.errors import ProtocolError
+from repro.interests import (
+    Event,
+    StaticInterest,
+    Subscription,
+    between,
+    eq,
+    ge,
+    one_of,
+    parse_subscription,
+)
+from repro.membership import ViewRow, ViewTable
+
+
+def json_round_trip(encoded):
+    """Everything encoded must survive actual JSON serialization."""
+    return json.loads(json.dumps(encoded))
+
+
+class TestAddressCodec:
+    def test_round_trip(self):
+        address = Address.parse("128.178.73.3")
+        assert decode_address(encode_address(address)) == address
+
+    def test_prefix_round_trip(self):
+        for text in ("", "128", "128.178"):
+            prefix = Prefix.parse(text)
+            assert decode_prefix(encode_prefix(prefix)) == prefix
+
+
+class TestEventCodec:
+    def test_round_trip_preserves_id_and_attrs(self):
+        event = Event({"b": 3, "c": 1.5, "e": "Bob"}, event_id=42)
+        decoded = decode_event(json_round_trip(encode_event(event)))
+        assert decoded == event                      # identity by id
+        assert decoded.attributes == event.attributes
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_event({"attrs": {}})
+
+
+class TestInterestCodec:
+    def test_static_round_trip(self):
+        for flag in (True, False):
+            interest = StaticInterest(flag)
+            decoded = decode_interest(
+                json_round_trip(encode_interest(interest))
+            )
+            assert decoded == interest
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "b > 3, 10.0 < c < 220.0",
+            'b = 2, e = "Bob" | "Tom"',
+            "b > 4, 20.0 < c < 35.0, z < 23002",
+            "b != 7",
+            "",
+        ],
+    )
+    def test_subscription_round_trip(self, text):
+        subscription = parse_subscription(text)
+        decoded = decode_interest(
+            json_round_trip(encode_interest(subscription))
+        )
+        assert decoded == subscription
+
+    def test_nothing_subscription_round_trip(self):
+        decoded = decode_interest(
+            json_round_trip(encode_interest(Subscription.nothing()))
+        )
+        assert decoded.is_nothing
+
+    def test_infinite_bounds_survive(self):
+        subscription = Subscription({"b": ge(3)})
+        decoded = decode_interest(
+            json_round_trip(encode_interest(subscription))
+        )
+        assert decoded == subscription
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_interest({"type": "martian"})
+        with pytest.raises(ProtocolError):
+            decode_interest({"type": "subscription",
+                             "constraints": {"b": {"numeric": [[1]]}}})
+
+
+class TestMessageCodec:
+    def test_round_trip(self):
+        message = GossipMessage(
+            event=Event({"b": 1}, event_id=7),
+            rate=0.25,
+            round=3,
+            depth=2,
+            sender=Address.parse("1.2.3"),
+        )
+        decoded = decode_message(json_round_trip(encode_message(message)))
+        assert decoded == message
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message({"rate": 0.5})
+
+
+class TestViewCodec:
+    def make_table(self):
+        rows = [
+            ViewRow(
+                infix=0,
+                delegates=(Address((1, 0, 0)), Address((1, 0, 1))),
+                interest=Subscription({"b": between(1, 9)}),
+                process_count=5,
+                timestamp=12,
+            ),
+            ViewRow(
+                infix=3,
+                delegates=(Address((1, 3, 0)),),
+                interest=Subscription({"e": one_of(["Bob", "Tom"])}),
+                process_count=2,
+                timestamp=4,
+            ),
+        ]
+        return ViewTable(Prefix((1,)), 3, rows)
+
+    def test_row_round_trip(self):
+        row = self.make_table().row(0)
+        decoded = decode_view_row(json_round_trip(encode_view_row(row)))
+        assert decoded == row
+
+    def test_table_round_trip(self):
+        table = self.make_table()
+        decoded = decode_view_table(
+            json_round_trip(encode_view_table(table))
+        )
+        assert decoded.prefix == table.prefix
+        assert decoded.tree_depth == table.tree_depth
+        assert decoded.rows() == table.rows()
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_view_table({"prefix": "1"})
+
+
+# -- property round-trips ------------------------------------------------
+
+attribute_values = st.one_of(
+    st.integers(-10_000, 10_000),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.text(alphabet="xyz ", min_size=0, max_size=8),
+)
+events = st.builds(
+    Event,
+    st.dictionaries(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+        attribute_values,
+        max_size=3,
+    ),
+    event_id=st.integers(0, 2**31),
+)
+
+
+@st.composite
+def subscriptions(draw):
+    constraints = {}
+    for name in draw(st.sets(st.sampled_from("bcez"), max_size=3)):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            constraints[name] = eq(draw(st.integers(-50, 50)))
+        elif kind == 1:
+            constraints[name] = ge(draw(st.floats(-50, 50, allow_nan=False)))
+        elif kind == 2:
+            lo = draw(st.integers(-50, 50))
+            constraints[name] = between(lo, lo + draw(st.integers(1, 20)))
+        else:
+            constraints[name] = one_of(
+                draw(st.lists(st.text(max_size=4), min_size=1, max_size=3))
+            )
+    return Subscription(constraints)
+
+
+class TestCodecProperties:
+    @given(events)
+    @settings(max_examples=100)
+    def test_event_round_trip(self, event):
+        decoded = decode_event(json_round_trip(encode_event(event)))
+        assert decoded.event_id == event.event_id
+        assert decoded.attributes == event.attributes
+
+    @given(subscriptions())
+    @settings(max_examples=100)
+    def test_subscription_round_trip(self, subscription):
+        decoded = decode_interest(
+            json_round_trip(encode_interest(subscription))
+        )
+        assert decoded == subscription
+
+    @given(subscriptions(), events)
+    @settings(max_examples=100)
+    def test_round_trip_preserves_matching(self, subscription, event):
+        decoded = decode_interest(
+            json_round_trip(encode_interest(subscription))
+        )
+        assert decoded.matches(event) == subscription.matches(event)

@@ -1,0 +1,48 @@
+"""Tests for the memoizing GossipContext."""
+
+import random
+
+from repro.addressing import Address, Prefix
+from repro.core import GossipContext
+from repro.interests import Event, StaticInterest
+from repro.membership import ViewRow, ViewTable
+
+
+def make_table():
+    rows = [
+        ViewRow(i, (Address((0, i)),), StaticInterest(i % 2 == 0), 1)
+        for i in range(4)
+    ]
+    return ViewTable(Prefix((0,)), 2, rows)
+
+
+class TestGossipContext:
+    def test_match_is_cached(self):
+        context = GossipContext(random.Random(0))
+        table = make_table()
+        event = Event({})
+        first = context.table_match(table, event)
+        second = context.table_match(table, event)
+        assert first is second
+
+    def test_distinct_events_not_conflated(self):
+        context = GossipContext(random.Random(0))
+        table = make_table()
+        a = context.table_match(table, Event({}))
+        b = context.table_match(table, Event({}))
+        assert a is not b          # different event ids
+
+    def test_threshold_applied(self):
+        context = GossipContext(random.Random(0), threshold_h=4)
+        table = make_table()
+        match = context.table_match(table, Event({}))
+        assert match.inflated
+        assert len(match.matching) == 4
+
+    def test_invalidate_clears_cache(self):
+        context = GossipContext(random.Random(0))
+        table = make_table()
+        event = Event({})
+        first = context.table_match(table, event)
+        context.invalidate()
+        assert context.table_match(table, event) is not first

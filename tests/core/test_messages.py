@@ -1,0 +1,52 @@
+"""Tests for GossipMessage / Envelope validation."""
+
+import pytest
+
+from repro.addressing import Address
+from repro.core.messages import Envelope, GossipMessage
+from repro.errors import ProtocolError
+from repro.interests import Event
+
+
+def message(**overrides):
+    fields = dict(
+        event=Event({}, event_id=1),
+        rate=0.5,
+        round=1,
+        depth=2,
+        sender=Address((0, 0)),
+    )
+    fields.update(overrides)
+    return GossipMessage(**fields)
+
+
+class TestGossipMessage:
+    def test_valid(self):
+        msg = message()
+        assert msg.rate == 0.5 and msg.depth == 2
+
+    def test_rate_bounds(self):
+        with pytest.raises(ProtocolError):
+            message(rate=-0.1)
+        with pytest.raises(ProtocolError):
+            message(rate=1.1)
+
+    def test_round_and_depth_bounds(self):
+        with pytest.raises(ProtocolError):
+            message(round=-1)
+        with pytest.raises(ProtocolError):
+            message(depth=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            message().rate = 0.9
+
+
+class TestEnvelope:
+    def test_valid(self):
+        envelope = Envelope(Address((1, 1)), message())
+        assert envelope.destination == Address((1, 1))
+
+    def test_self_send_rejected(self):
+        with pytest.raises(ProtocolError):
+            Envelope(Address((0, 0)), message())

@@ -1,0 +1,122 @@
+"""Tests for GETRATE (Figure 3, lines 28-33) and the tuned audience."""
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.core.rate import match_table
+from repro.errors import ProtocolError
+from repro.interests import Event, StaticInterest
+from repro.membership import ViewRow, ViewTable
+
+
+def table_with_flags(flags, redundancy=2):
+    """An inner-depth table: one row per flag, R delegates each."""
+    rows = []
+    for infix, interested in enumerate(flags):
+        delegates = tuple(
+            Address((0, infix, index)) for index in range(redundancy)
+        )
+        rows.append(
+            ViewRow(infix, delegates, StaticInterest(interested), 3)
+        )
+    return ViewTable(Prefix((0,)), 3, rows)
+
+
+def leaf_table(flags):
+    rows = [
+        ViewRow(infix, (Address((0, 0, infix)),), StaticInterest(flag), 1)
+        for infix, flag in enumerate(flags)
+    ]
+    return ViewTable(Prefix((0, 0)), 3, rows)
+
+
+class TestMatchTable:
+    def test_rate_counts_delegate_entries(self):
+        table = table_with_flags([True, False, True, False])
+        match = match_table(table, Event({}))
+        # hits / (|view| * R) = 4 / 8
+        assert match.rate == pytest.approx(0.5)
+        assert match.natural_hits == 4
+        assert match.total == 8
+
+    def test_leaf_rate_counts_processes(self):
+        table = leaf_table([True, False, False, False])
+        match = match_table(table, Event({}))
+        assert match.rate == pytest.approx(0.25)
+        assert match.total == 4
+
+    def test_matching_set_is_row_based(self):
+        table = table_with_flags([True, False])
+        match = match_table(table, Event({}))
+        assert match.is_interested(Address((0, 0, 0)))
+        assert match.is_interested(Address((0, 0, 1)))
+        assert not match.is_interested(Address((0, 1, 0)))
+
+    def test_entries_in_view_order(self):
+        table = table_with_flags([True, True])
+        match = match_table(table, Event({}))
+        assert match.entries == (
+            Address((0, 0, 0)),
+            Address((0, 0, 1)),
+            Address((0, 1, 0)),
+            Address((0, 1, 1)),
+        )
+
+    def test_zero_rate(self):
+        table = table_with_flags([False, False])
+        match = match_table(table, Event({}))
+        assert match.rate == 0.0
+        assert match.matching == frozenset()
+
+    def test_empty_table_rejected(self):
+        table = ViewTable(Prefix((0,)), 3, [])
+        with pytest.raises(ProtocolError):
+            match_table(table, Event({}))
+
+    def test_negative_threshold_rejected(self):
+        table = table_with_flags([True])
+        with pytest.raises(ProtocolError):
+            match_table(table, Event({}), threshold_h=-1)
+
+
+class TestTunedMatching:
+    def test_inflation_below_threshold(self):
+        # One interested row out of four; h=3 conscripts the first 3
+        # entries of the view in addition.
+        table = table_with_flags([False, False, True, False])
+        match = match_table(table, Event({}), threshold_h=3)
+        assert match.inflated
+        assert match.natural_hits == 2          # one row, R=2 delegates
+        # First 3 entries: (0,0,0), (0,0,1), (0,1,0) plus row-2 matches.
+        assert match.is_interested(Address((0, 0, 0)))
+        assert match.is_interested(Address((0, 1, 0)))
+        assert match.is_interested(Address((0, 2, 0)))
+        assert len(match.matching) == 5
+        assert match.rate == pytest.approx(5 / 8)
+
+    def test_no_inflation_at_or_above_threshold(self):
+        table = table_with_flags([True, True, False])
+        match = match_table(table, Event({}), threshold_h=3)
+        # natural_hits = 4 >= h = 3: untouched.
+        assert not match.inflated
+        assert match.rate == pytest.approx(4 / 6)
+
+    def test_inflation_is_deterministic_view_order(self):
+        # "the h first processes in its view" — all subgroup members
+        # inflate identically without agreement.
+        table_a = table_with_flags([False, False, False])
+        table_b = table_with_flags([False, False, False])
+        match_a = match_table(table_a, Event({}), threshold_h=2)
+        match_b = match_table(table_b, Event({}), threshold_h=2)
+        assert match_a.matching == match_b.matching
+
+    def test_zero_threshold_disables_tuning(self):
+        table = table_with_flags([False, False])
+        match = match_table(table, Event({}), threshold_h=0)
+        assert not match.inflated
+        assert match.rate == 0.0
+
+    def test_rate_propagates_inflated_audience(self):
+        table = table_with_flags([False] * 6)
+        match = match_table(table, Event({}), threshold_h=4)
+        assert match.rate == pytest.approx(4 / 12)

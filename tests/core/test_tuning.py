@@ -1,0 +1,67 @@
+"""Tests for the §5.3 tuning primitives."""
+
+import pytest
+
+from repro.addressing import Address
+from repro.core.tuning import choose_threshold, inflate_audience
+from repro.errors import ConfigError
+
+
+def addresses(count):
+    return [Address((0, i)) for i in range(count)]
+
+
+class TestInflateAudience:
+    def test_union_of_prefix_and_matches(self):
+        entries = addresses(6)
+        matching = frozenset({entries[4]})
+        audience = inflate_audience(entries, matching, threshold_h=3)
+        assert audience == frozenset(entries[:3]) | {entries[4]}
+
+    def test_matching_inside_prefix_not_double_counted(self):
+        entries = addresses(4)
+        matching = frozenset({entries[0]})
+        audience = inflate_audience(entries, matching, threshold_h=2)
+        assert audience == frozenset(entries[:2])
+
+    def test_threshold_larger_than_view(self):
+        entries = addresses(3)
+        audience = inflate_audience(entries, frozenset(), threshold_h=10)
+        assert audience == frozenset(entries)
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            inflate_audience(addresses(3), frozenset(), threshold_h=0)
+
+
+class TestChooseThreshold:
+    def test_finds_smallest_sufficient_h(self):
+        # Reliability improves with h: 0.5, 0.6, ..., capped at 1.0.
+        reliability = lambda h: min(0.5 + 0.1 * h, 1.0)
+        assert choose_threshold(reliability, target=0.75, max_threshold=10) == 3
+
+    def test_zero_if_already_reliable(self):
+        assert choose_threshold(lambda h: 0.99, 0.9, 10) == 0
+
+    def test_falls_back_to_max(self):
+        assert choose_threshold(lambda h: 0.1, 0.9, 5) == 5
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigError):
+            choose_threshold(lambda h: 1.0, 0.0, 5)
+        with pytest.raises(ConfigError):
+            choose_threshold(lambda h: 1.0, 1.5, 5)
+
+    def test_invalid_bound(self):
+        with pytest.raises(ConfigError):
+            choose_threshold(lambda h: 1.0, 0.5, -1)
+
+    def test_callable_invoked_in_order(self):
+        seen = []
+
+        def probe(h):
+            seen.append(h)
+            return 1.0 if h >= 2 else 0.0
+
+        assert choose_threshold(probe, 0.9, 10) == 2
+        assert seen == [0, 1, 2]

@@ -1,0 +1,49 @@
+"""Cross-validation: the §4 models against the running protocol."""
+
+import pytest
+
+from repro.analysis import analyze_tree, pittel_rounds, tree_total_rounds
+from repro.bench import reliability_sweep
+
+
+class TestModelAgainstSimulation:
+    def test_simulation_dominates_pessimistic_model(self):
+        """§4.3 calls Eqs 13-18 pessimistic; the simulator should agree."""
+        rows = reliability_sweep(
+            (0.2, 0.5, 0.8), arity=8, depth=3, redundancy=3, fanout=2,
+            trials=3, seed=21,
+        )
+        for row in rows:
+            analysis = analyze_tree(
+                row["matching_rate"], 8, 3, 3, 2
+            )
+            assert row["delivery"] >= analysis.reliability_degree - 0.1
+
+    def test_model_tracks_simulation_within_margin(self):
+        rows = reliability_sweep(
+            (0.5, 1.0), arity=8, depth=3, redundancy=3, fanout=2,
+            trials=3, seed=22,
+        )
+        for row in rows:
+            analysis = analyze_tree(row["matching_rate"], 8, 3, 3, 2)
+            assert row["delivery"] == pytest.approx(
+                analysis.reliability_degree, abs=0.25
+            )
+
+    def test_round_totals_in_simulations_ballpark(self):
+        rows = reliability_sweep(
+            (1.0,), arity=8, depth=3, redundancy=3, fanout=2,
+            trials=3, seed=23,
+        )
+        predicted, __ = tree_total_rounds(1.0, 8, 3, 3, 2)
+        observed = rows[0]["rounds"]
+        # The simulator's total run length is the depth-wise sum plus
+        # pipeline effects; it should be within a factor ~2.5.
+        assert observed <= 2.5 * predicted + 5
+        assert observed >= predicted / 2.5
+
+    def test_tree_rounds_close_to_flat_group(self):
+        """§4.3: the tree costs about the same rounds as a flat group."""
+        total, __ = tree_total_rounds(1.0, 10, 3, 3, 2)
+        flat = pittel_rounds(1000, 2)
+        assert total == pytest.approx(flat, rel=0.6)

@@ -1,0 +1,50 @@
+"""The examples must stay runnable: each is executed as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "delivered to" in result.stdout
+        assert "100% of interested" in result.stdout
+
+    def test_sensor_network(self):
+        result = run_example("sensor_network.py")
+        assert result.returncode == 0, result.stderr
+        assert "after join" in result.stdout
+        assert "after crash exclusion" in result.stdout
+        assert "suspect" in result.stdout
+
+    def test_analysis_vs_simulation(self):
+        result = run_example("analysis_vs_simulation.py")
+        assert result.returncode == 0, result.stderr
+        assert "T_tot" in result.stdout
+
+    @pytest.mark.slow
+    def test_stock_ticker(self):
+        result = run_example("stock_ticker.py", timeout=600)
+        assert result.returncode == 0, result.stderr
+        assert "pmcast" in result.stdout and "flood" in result.stdout
+
+    def test_parameter_tuning(self):
+        result = run_example("parameter_tuning.py", timeout=300)
+        assert result.returncode == 0, result.stderr
+        assert "advisor:" in result.stdout
+        assert "smallest h" in result.stdout

@@ -1,0 +1,104 @@
+"""Tests for last-contact failure detection (§2.3) and the §6 quorum."""
+
+import pytest
+
+from repro.addressing import Address
+from repro.errors import MembershipError
+from repro.membership import FailureDetector, SuspicionQuorum
+
+OWNER = Address((0, 0, 0))
+PEER = Address((0, 0, 1))
+OTHER = Address((0, 0, 2))
+
+
+class TestFailureDetector:
+    def test_fresh_contact_not_suspected(self):
+        detector = FailureDetector(OWNER, timeout=3)
+        detector.watch(PEER, now=0)
+        detector.record_contact(PEER, now=2)
+        assert detector.suspects(now=4) == []
+
+    def test_silence_beyond_timeout_suspected(self):
+        detector = FailureDetector(OWNER, timeout=3)
+        detector.watch(PEER, now=0)
+        assert detector.suspects(now=3) == []     # exactly timeout: not yet
+        assert detector.suspects(now=4) == [PEER]
+
+    def test_contact_resets_suspicion(self):
+        detector = FailureDetector(OWNER, timeout=2)
+        detector.watch(PEER, now=0)
+        assert detector.suspects(now=5) == [PEER]
+        detector.record_contact(PEER, now=5)
+        assert detector.suspects(now=6) == []
+
+    def test_implicit_watch_on_contact(self):
+        detector = FailureDetector(OWNER, timeout=2)
+        detector.record_contact(PEER, now=1)
+        assert PEER in detector.watched()
+        assert detector.last_contact(PEER) == 1
+
+    def test_stale_contact_ignored(self):
+        detector = FailureDetector(OWNER, timeout=2)
+        detector.record_contact(PEER, now=5)
+        detector.record_contact(PEER, now=3)   # reordered/late message
+        assert detector.last_contact(PEER) == 5
+
+    def test_unwatch(self):
+        detector = FailureDetector(OWNER, timeout=1)
+        detector.watch(PEER, now=0)
+        detector.unwatch(PEER)
+        assert detector.suspects(now=100) == []
+
+    def test_self_monitoring_rejected(self):
+        detector = FailureDetector(OWNER, timeout=1)
+        with pytest.raises(MembershipError):
+            detector.watch(OWNER, now=0)
+        detector.record_contact(OWNER, now=0)   # silently ignored
+        assert detector.watched() == []
+
+    def test_unknown_last_contact_rejected(self):
+        detector = FailureDetector(OWNER, timeout=1)
+        with pytest.raises(MembershipError):
+            detector.last_contact(PEER)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(MembershipError):
+            FailureDetector(OWNER, timeout=0)
+
+    def test_multiple_suspects_sorted(self):
+        detector = FailureDetector(OWNER, timeout=1)
+        detector.watch(OTHER, now=0)
+        detector.watch(PEER, now=0)
+        assert detector.suspects(now=5) == [PEER, OTHER]
+
+
+class TestSuspicionQuorum:
+    def test_quorum_reached(self):
+        quorum = SuspicionQuorum(quorum=2)
+        assert not quorum.accuse(PEER, OWNER)
+        assert quorum.accuse(PEER, OTHER)
+        assert quorum.convicted() == [PEER]
+
+    def test_duplicate_accusers_count_once(self):
+        quorum = SuspicionQuorum(quorum=2)
+        quorum.accuse(PEER, OWNER)
+        assert not quorum.accuse(PEER, OWNER)
+        assert quorum.accusation_count(PEER) == 1
+
+    def test_retraction(self):
+        quorum = SuspicionQuorum(quorum=2)
+        quorum.accuse(PEER, OWNER)
+        quorum.accuse(PEER, OTHER)
+        quorum.retract(PEER, OWNER)
+        assert quorum.convicted() == []
+        quorum.retract(PEER, OTHER)
+        assert quorum.accusation_count(PEER) == 0
+
+    def test_retract_unknown_is_noop(self):
+        quorum = SuspicionQuorum(quorum=1)
+        quorum.retract(PEER, OWNER)
+        assert quorum.convicted() == []
+
+    def test_invalid_quorum(self):
+        with pytest.raises(MembershipError):
+            SuspicionQuorum(quorum=0)

@@ -1,0 +1,138 @@
+"""Tests for per-depth view tables (§2.3, Figure 2)."""
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.errors import MembershipError
+from repro.interests import Event, StaticInterest, Subscription, gt
+from repro.membership import ViewRow, ViewTable
+
+
+def row(infix, delegates, interested=True, count=3, timestamp=0):
+    return ViewRow(
+        infix=infix,
+        delegates=tuple(Address(d) for d in delegates),
+        interest=StaticInterest(interested),
+        process_count=count,
+        timestamp=timestamp,
+    )
+
+
+class TestViewRow:
+    def test_validation(self):
+        with pytest.raises(MembershipError):
+            ViewRow(-1, (Address((1, 1)),), StaticInterest(True), 1)
+        with pytest.raises(MembershipError):
+            ViewRow(0, (), StaticInterest(True), 1)
+        with pytest.raises(MembershipError):
+            ViewRow(0, (Address((1, 1)),), StaticInterest(True), 0)
+
+    def test_newer_than(self):
+        old = row(1, [(1, 0)], timestamp=3)
+        new = row(1, [(1, 0)], timestamp=5)
+        assert new.newer_than(old)
+        assert not old.newer_than(new)
+        assert not old.newer_than(old)
+
+    def test_with_timestamp(self):
+        fresh = row(1, [(1, 0)]).with_timestamp(9)
+        assert fresh.timestamp == 9
+
+
+class TestViewTable:
+    def make_table(self):
+        return ViewTable(
+            Prefix((1,)),
+            tree_depth=3,
+            rows=[
+                row(0, [(1, 0, 0), (1, 0, 1)], interested=True),
+                row(1, [(1, 1, 0), (1, 1, 1)], interested=False),
+                row(2, [(1, 2, 0), (1, 2, 1)], interested=True),
+            ],
+        )
+
+    def test_row_and_entry_counts(self):
+        table = self.make_table()
+        assert table.row_count == 3
+        assert table.entry_count == 6
+        assert len(table) == 3
+
+    def test_depth_properties(self):
+        table = self.make_table()
+        assert table.depth == 2
+        assert not table.is_leaf_level
+        leaf = ViewTable(Prefix((1, 2)), 3, [row(0, [(1, 2, 0)], count=1)])
+        assert leaf.is_leaf_level
+
+    def test_rows_sorted_by_infix(self):
+        table = ViewTable(
+            Prefix((1,)),
+            3,
+            rows=[row(2, [(1, 2, 0)]), row(0, [(1, 0, 0)])],
+        )
+        assert [r.infix for r in table.rows()] == [0, 2]
+
+    def test_duplicate_infix_rejected(self):
+        with pytest.raises(MembershipError):
+            ViewTable(
+                Prefix((1,)), 3, rows=[row(0, [(1, 0, 0)]), row(0, [(1, 0, 1)])]
+            )
+
+    def test_prefix_depth_must_fit_tree(self):
+        with pytest.raises(MembershipError):
+            ViewTable(Prefix((1, 2, 3)), 3)
+
+    def test_entries_flatten_delegates_with_rows(self):
+        table = self.make_table()
+        entries = table.entries()
+        assert len(entries) == 6
+        assert entries[0][0] == Address((1, 0, 0))
+        assert entries[0][1].infix == 0
+
+    def test_matching_rows(self):
+        table = self.make_table()
+        matching = table.matching_rows(Event({}))
+        assert [r.infix for r in matching] == [0, 2]
+
+    def test_row_access_and_discard(self):
+        table = self.make_table()
+        assert table.row(1).infix == 1
+        table.discard(1)
+        assert not table.has_row(1)
+        with pytest.raises(MembershipError):
+            table.row(1)
+
+    def test_upsert_replaces(self):
+        table = self.make_table()
+        table.upsert(row(1, [(1, 1, 5)], timestamp=7))
+        assert table.row(1).timestamp == 7
+        assert table.row(1).delegates == (Address((1, 1, 5)),)
+
+    def test_total_process_count(self):
+        table = self.make_table()
+        assert table.total_process_count() == 9
+
+    def test_digest(self):
+        table = ViewTable(
+            Prefix((1,)),
+            3,
+            rows=[row(0, [(1, 0, 0)], timestamp=4), row(1, [(1, 1, 0)])],
+        )
+        assert table.digest() == {0: 4, 1: 0}
+
+    def test_clone_is_independent(self):
+        table = self.make_table()
+        clone = table.clone()
+        clone.discard(0)
+        assert table.has_row(0)
+
+    def test_content_based_rows(self):
+        table = ViewTable(
+            Prefix((1, 2)),
+            3,
+            rows=[
+                ViewRow(0, (Address((1, 2, 0)),), Subscription({"b": gt(3)}), 1),
+                ViewRow(1, (Address((1, 2, 1)),), Subscription({"b": gt(7)}), 1),
+            ],
+        )
+        assert [r.infix for r in table.matching_rows(Event({"b": 5}))] == [0]

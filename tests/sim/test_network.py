@@ -1,0 +1,86 @@
+"""Tests for the lossy network (§4.1)."""
+
+import random
+
+import pytest
+
+from repro.addressing import Address
+from repro.core.messages import Envelope, GossipMessage
+from repro.errors import SimulationError
+from repro.interests import Event
+from repro.sim import LossyNetwork
+
+
+def envelope(src, dst, eid=1):
+    return Envelope(
+        Address(dst),
+        GossipMessage(Event({}, event_id=eid), 0.5, 0, 1, Address(src)),
+    )
+
+
+class TestLoss:
+    def test_zero_loss_delivers_everything(self):
+        network = LossyNetwork(0.0, random.Random(0))
+        envelopes = [envelope((0, 0), (0, i)) for i in range(1, 10)]
+        assert network.transmit(envelopes) == envelopes
+        assert network.messages_sent == 9
+        assert network.messages_lost == 0
+
+    def test_loss_rate_approximates_epsilon(self):
+        network = LossyNetwork(0.3, random.Random(42))
+        envelopes = [envelope((0, 0), (0, 1)) for __ in range(5000)]
+        delivered = network.transmit(envelopes)
+        observed = 1 - len(delivered) / 5000
+        assert observed == pytest.approx(0.3, abs=0.03)
+        assert network.messages_lost == 5000 - len(delivered)
+
+    def test_order_preserved(self):
+        network = LossyNetwork(0.5, random.Random(1))
+        envelopes = [envelope((0, 0), (0, 1), eid=i) for i in range(100)]
+        delivered = network.transmit(envelopes)
+        ids = [e.message.event.event_id for e in delivered]
+        assert ids == sorted(ids)
+
+    def test_invalid_probability(self):
+        with pytest.raises(SimulationError):
+            LossyNetwork(1.0, random.Random(0))
+        with pytest.raises(SimulationError):
+            LossyNetwork(-0.1, random.Random(0))
+
+    def test_deterministic_under_seed(self):
+        envelopes = [envelope((0, 0), (0, 1), eid=i) for i in range(50)]
+        a = LossyNetwork(0.4, random.Random(7)).transmit(list(envelopes))
+        b = LossyNetwork(0.4, random.Random(7)).transmit(list(envelopes))
+        assert [e.message.event.event_id for e in a] == [
+            e.message.event.event_id for e in b
+        ]
+
+
+class TestPartitions:
+    def test_partition_blocks_both_directions(self):
+        network = LossyNetwork(0.0, random.Random(0))
+        side_a = {Address((0, 0)), Address((0, 1))}
+        side_b = {Address((1, 0))}
+        network.partition(side_a, side_b)
+        crossing = [envelope((0, 0), (1, 0)), envelope((1, 0), (0, 1))]
+        internal = [envelope((0, 0), (0, 1))]
+        assert network.transmit(crossing) == []
+        assert network.transmit(internal) == internal
+
+    def test_heal_restores_traffic(self):
+        network = LossyNetwork(0.0, random.Random(0))
+        network.partition({Address((0, 0))}, {Address((1, 0))})
+        network.heal()
+        crossing = [envelope((0, 0), (1, 0))]
+        assert network.transmit(crossing) == crossing
+
+    def test_overlapping_partition_rejected(self):
+        network = LossyNetwork(0.0, random.Random(0))
+        with pytest.raises(SimulationError):
+            network.partition({Address((0, 0))}, {Address((0, 0))})
+
+    def test_custom_block_rule(self):
+        network = LossyNetwork(0.0, random.Random(0))
+        network.block(lambda s, d: d == Address((9, 9)))
+        assert network.transmit([envelope((0, 0), (9, 9))]) == []
+        assert network.messages_lost == 1

@@ -1,0 +1,33 @@
+"""Tests for deterministic RNG stream derivation."""
+
+from repro.sim import derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_streams_independent(self):
+        assert derive_seed(1, "network") != derive_seed(1, "gossip")
+
+    def test_master_seeds_independent(self):
+        assert derive_seed(1, "network") != derive_seed(2, "network")
+
+    def test_label_types_distinguished(self):
+        assert derive_seed(1, "1") != derive_seed(1, 1)
+
+
+class TestDeriveRng:
+    def test_same_labels_same_stream(self):
+        a = derive_rng(5, "x")
+        b = derive_rng(5, "x")
+        assert [a.random() for __ in range(5)] == [
+            b.random() for __ in range(5)
+        ]
+
+    def test_different_labels_different_stream(self):
+        a = derive_rng(5, "x")
+        b = derive_rng(5, "y")
+        assert [a.random() for __ in range(5)] != [
+            b.random() for __ in range(5)
+        ]

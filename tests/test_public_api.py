@@ -1,0 +1,91 @@
+"""Packaging guards: every advertised export exists and imports cleanly."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.addressing",
+    "repro.interests",
+    "repro.membership",
+    "repro.core",
+    "repro.sim",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.bench",
+]
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "__all__"), f"{name} lacks __all__"
+        for export in module.__all__:
+            assert hasattr(module, export), f"{name}.{export} missing"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_has_no_duplicates(self, name):
+        module = importlib.import_module(name)
+        assert len(module.__all__) == len(set(module.__all__))
+
+    def test_version_is_set(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_top_level_exports_cover_the_quickstart(self):
+        # The README quickstart must keep working against the
+        # top-level namespace alone.
+        from repro import (
+            AddressSpace,
+            Event,
+            PmcastConfig,
+            PmcastGroup,
+            PubSubSystem,
+            SimConfig,
+            parse_subscription,
+            run_dissemination,
+        )
+
+        assert all(
+            item is not None
+            for item in (
+                AddressSpace,
+                Event,
+                PmcastConfig,
+                PmcastGroup,
+                PubSubSystem,
+                SimConfig,
+                parse_subscription,
+                run_dissemination,
+            )
+        )
+
+    def test_exceptions_share_the_root(self):
+        from repro import ReproError
+        from repro.errors import (
+            AddressError,
+            AnalysisError,
+            ConfigError,
+            ElectionError,
+            MembershipError,
+            ParseError,
+            PredicateError,
+            ProtocolError,
+            SimulationError,
+        )
+
+        for exc in (
+            AddressError,
+            AnalysisError,
+            ConfigError,
+            ElectionError,
+            MembershipError,
+            ParseError,
+            PredicateError,
+            ProtocolError,
+            SimulationError,
+        ):
+            assert issubclass(exc, ReproError)
