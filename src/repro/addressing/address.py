@@ -48,10 +48,16 @@ class Prefix:
     subgroup maps.
     """
 
-    __slots__ = ("_components",)
+    __slots__ = ("_components", "_hash")
 
     def __init__(self, components: Sequence[int] = ()):
         self._components = _validate_components(components)
+        # Precomputed (hashing is hot: every view/table/cache lookup),
+        # and built from ints only: int hashing is not randomized by
+        # PYTHONHASHSEED, so hash-ordered structures behave identically
+        # across processes — a prerequisite for reproducible runs.
+        # The leading marker keeps Prefix and Address hashes distinct.
+        self._hash = hash((1, self._components))
 
     @property
     def components(self) -> Tuple[int, ...]:
@@ -112,7 +118,7 @@ class Prefix:
         return self._components < other._components
 
     def __hash__(self) -> int:
-        return hash(("Prefix", self._components))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Prefix({'.'.join(str(c) for c in self._components)!r})"
@@ -131,13 +137,15 @@ class Address:
     that the class can also represent free-standing IP-like addresses).
     """
 
-    __slots__ = ("_components",)
+    __slots__ = ("_components", "_hash")
 
     def __init__(self, components: Sequence[int]):
         parts = _validate_components(components)
         if not parts:
             raise AddressError("an address needs at least one component")
         self._components = parts
+        # See Prefix.__init__: precomputed, int-only, process-stable.
+        self._hash = hash((2, parts))
 
     @property
     def components(self) -> Tuple[int, ...]:
@@ -231,7 +239,7 @@ class Address:
         return self._components >= other._components
 
     def __hash__(self) -> int:
-        return hash(("Address", self._components))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Address({'.'.join(str(c) for c in self._components)!r})"

@@ -1,0 +1,450 @@
+"""Hot-path microbenchmarks: ``python -m repro.bench.perf``.
+
+The figure harnesses (:mod:`repro.bench.figures`) measure *protocol*
+quality; this module measures *implementation* speed on the paths the
+round loop actually exercises at paper scale (n ≈ 10 000, §5):
+
+* ``round_loop`` — a full :class:`~repro.sim.runtime.GroupRuntime`
+  dissemination (event gossip + membership gossip-pull + failure
+  detection every round), the system of §2.3;
+* ``engine`` — a single :func:`~repro.sim.engine.run_dissemination`
+  over a static group (the Figure 4/5 inner loop), with the
+  :class:`~repro.sim.metrics.DisseminationReport` digested so two runs
+  can be checked for byte-identical outcomes;
+* ``churn_refresh`` — the cost of join/leave view maintenance
+  (:meth:`GroupRuntime._refresh_path`) under a churn burst;
+* ``match_cache`` — a content-based (subscription) workload reporting
+  the :class:`~repro.core.context.GossipContext` cache counters.
+
+Every benchmark records wall-clock seconds and a ``digest`` of the
+observable outcome (delivered sets, report fields), so speedups can be
+claimed only alongside proof that the results did not change.
+
+The CLI writes a JSON report (default ``BENCH_PR1.json`` in the current
+directory).  ``--baseline FILE`` merges a previously captured run —
+e.g. one taken at the pre-optimization commit with this same harness —
+and computes per-benchmark speedups.  ``--mode both`` additionally runs
+the ablation/legacy code paths (full O(n) scans, identity-keyed match
+cache) when the installed code supports the switches, and verifies the
+two modes produce identical digests.
+
+The module deliberately touches new introspection APIs
+(``cache_stats``, ``active_count``) through ``getattr`` so that the
+identical harness runs against the pre-optimization code base.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.addressing import AddressSpace
+from repro.config import PmcastConfig, SimConfig
+from repro.interests.events import Event
+from repro.sim.rng import derive_rng
+from repro.sim.workload import bernoulli_interests, random_subscriptions
+
+__all__ = ["main", "run_suite"]
+
+SCHEMA = "repro.bench.perf/v1"
+
+#: Paper scale: a = 22, d = 3 -> n = 10 648 (the §5 configuration).
+PAPER_SCALE = {"arity": 22, "depth": 3}
+#: CI scale: a = 5, d = 3 -> n = 125.
+QUICK_SCALE = {"arity": 5, "depth": 3}
+
+
+def _sha1(parts: Sequence[str]) -> str:
+    digest = hashlib.sha1()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _runtime_kwargs(mode: str) -> Dict[str, Any]:
+    """Ablation switches for GroupRuntime, if the code base has them."""
+    if mode == "legacy":
+        return {"active_scheduling": False}
+    return {}
+
+
+def _context_stats(obj: Any) -> Optional[Dict[str, Any]]:
+    """Cache counters from a GossipContext-bearing object, if exposed."""
+    stats = getattr(obj, "cache_stats", None)
+    if stats is None:
+        return None
+    if hasattr(stats, "as_dict"):
+        return stats.as_dict()
+    if isinstance(stats, dict):
+        return dict(stats)
+    return None
+
+
+def _try_build_runtime(members, config, sim_config, mode: str):
+    """Build a GroupRuntime, tolerating pre-optimization signatures."""
+    from repro.sim.runtime import GroupRuntime
+
+    kwargs = _runtime_kwargs(mode)
+    try:
+        return GroupRuntime(
+            members, config=config, sim_config=sim_config, **kwargs
+        )
+    except TypeError:
+        if not kwargs:
+            raise
+        return None  # legacy switch not supported by this code base
+
+
+def bench_round_loop(
+    arity: int, depth: int, seed: int, mode: str, max_rounds: int = 96
+) -> Optional[Dict[str, Any]]:
+    """One live-runtime dissemination at scale: the §2.3 round loop."""
+    space = AddressSpace.regular(arity, depth)
+    addresses = space.enumerate_regular(arity)
+    members = bernoulli_interests(
+        addresses, 0.25, derive_rng(seed, "perf-interests")
+    )
+    config = PmcastConfig(fanout=3, redundancy=3, min_rounds_per_depth=2)
+    started = time.perf_counter()
+    runtime = _try_build_runtime(members, config, SimConfig(seed=seed), mode)
+    if runtime is None:
+        return None
+    build_seconds = time.perf_counter() - started
+
+    event = Event({"perf": 1}, event_id=1)
+    publisher = addresses[0]
+    runtime.publish(publisher, event)
+    started = time.perf_counter()
+    rounds = runtime.run_until_idle(max_rounds=max_rounds)
+    loop_seconds = time.perf_counter() - started
+    delivered = runtime.delivered_to(event)
+    return {
+        "members": len(addresses),
+        "build_seconds": round(build_seconds, 4),
+        "seconds": round(loop_seconds, 4),
+        "rounds": rounds,
+        "rounds_per_second": round(rounds / loop_seconds, 2)
+        if loop_seconds
+        else None,
+        "delivered": len(delivered),
+        "digest": _sha1([str(a) for a in delivered] + [str(rounds)]),
+        "active_count_final": getattr(runtime, "active_count", None),
+        "cache_stats": _context_stats(getattr(runtime, "_ctx", None)),
+    }
+
+
+def bench_engine(
+    arity: int, depth: int, seed: int, mode: str
+) -> Optional[Dict[str, Any]]:
+    """One static-group dissemination (the Figure 4/5 inner loop)."""
+    from repro.sim.engine import run_dissemination
+    from repro.sim.group import PmcastGroup
+
+    if mode == "legacy":
+        # run_dissemination owns its context; no ablation switch here.
+        return None
+    space = AddressSpace.regular(arity, depth)
+    addresses = space.enumerate_regular(arity)
+    members = bernoulli_interests(
+        addresses, 0.25, derive_rng(seed, "perf-interests")
+    )
+    config = PmcastConfig(fanout=3, redundancy=3)
+    started = time.perf_counter()
+    group = PmcastGroup.build(members, config)
+    build_seconds = time.perf_counter() - started
+
+    event = Event({"perf": 1}, event_id=7)
+    started = time.perf_counter()
+    report = run_dissemination(
+        group, addresses[0], event, SimConfig(seed=seed)
+    )
+    seconds = time.perf_counter() - started
+    fields = (
+        report.group_size,
+        report.interested,
+        report.delivered_interested,
+        report.received_uninterested,
+        report.received_total,
+        report.rounds,
+        report.messages_sent,
+        report.duplicate_receptions,
+    )
+    return {
+        "members": len(addresses),
+        "build_seconds": round(build_seconds, 4),
+        "seconds": round(seconds, 4),
+        "rounds": report.rounds,
+        "delivered_interested": report.delivered_interested,
+        "received_uninterested": report.received_uninterested,
+        "messages_sent": report.messages_sent,
+        "digest": _sha1([str(field) for field in fields]),
+    }
+
+
+def bench_churn_refresh(
+    arity: int, depth: int, seed: int, mode: str, churn_events: int = 8
+) -> Optional[Dict[str, Any]]:
+    """Join/leave bursts: the view-maintenance (_refresh_path) cost."""
+    space = AddressSpace.regular(arity, depth)
+    addresses = space.enumerate_regular(arity)
+    members = bernoulli_interests(
+        addresses, 0.25, derive_rng(seed, "perf-interests")
+    )
+    # Hold some addresses back so there is room to join.
+    joiners = addresses[-churn_events:]
+    initial = {
+        address: interest
+        for address, interest in members.items()
+        if address not in set(joiners)
+    }
+    config = PmcastConfig(fanout=3, redundancy=3)
+    runtime = _try_build_runtime(initial, config, SimConfig(seed=seed), mode)
+    if runtime is None:
+        return None
+    started = time.perf_counter()
+    for address in joiners:
+        runtime.join(address, members[address])
+    for address in joiners:
+        runtime.leave(address)
+    seconds = time.perf_counter() - started
+    return {
+        "members": len(initial),
+        "churn_events": 2 * len(joiners),
+        "seconds": round(seconds, 4),
+        "per_event_ms": round(1000.0 * seconds / (2 * len(joiners)), 3),
+        "final_size": runtime.size,
+    }
+
+
+def bench_match_cache(
+    arity: int, depth: int, seed: int, mode: str, events: int = 4
+) -> Optional[Dict[str, Any]]:
+    """Content-based workload with churn mid-dissemination.
+
+    This is the scenario the cache layering exists for: joins/leaves
+    land while events are still in flight, so per-table invalidation
+    (vs. a global cache wipe) determines the hit rate.
+    """
+    space = AddressSpace.regular(arity, depth)
+    addresses = space.enumerate_regular(arity)
+    members = random_subscriptions(
+        addresses, derive_rng(seed, "perf-subscriptions")
+    )
+    churners = addresses[-4:]
+    initial = {
+        address: interest
+        for address, interest in members.items()
+        if address not in set(churners)
+    }
+    config = PmcastConfig(fanout=3, redundancy=3)
+    runtime = _try_build_runtime(initial, config, SimConfig(seed=seed), mode)
+    if runtime is None:
+        return None
+    started = time.perf_counter()
+    digests: List[str] = []
+    for index in range(events):
+        event = Event(
+            {"b": index % 7, "c": 25.0 + index, "z": 1000 * index},
+            event_id=100 + index,
+        )
+        runtime.publish(addresses[0], event)
+        runtime.run(2)
+        churner = churners[index % len(churners)]
+        if churner in runtime.tree:
+            runtime.leave(churner)
+        else:
+            runtime.join(churner, members[churner])
+        runtime.run_until_idle(max_rounds=64)
+        digests.append(
+            ",".join(str(a) for a in runtime.delivered_to(event))
+        )
+    seconds = time.perf_counter() - started
+    return {
+        "members": len(initial),
+        "events": events,
+        "seconds": round(seconds, 4),
+        "digest": _sha1(digests),
+        "cache_stats": _context_stats(getattr(runtime, "_ctx", None)),
+    }
+
+
+_BENCHES = {
+    "round_loop": bench_round_loop,
+    "engine": bench_engine,
+    "churn_refresh": bench_churn_refresh,
+    "match_cache": bench_match_cache,
+}
+
+
+def run_suite(
+    arity: int,
+    depth: int,
+    seed: int = 0,
+    modes: Sequence[str] = ("current",),
+    benches: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Run the selected benchmarks and return the report structure."""
+    selected = list(benches) if benches else list(_BENCHES)
+    results: Dict[str, Any] = {}
+    for mode in modes:
+        mode_results: Dict[str, Any] = {}
+        for name in selected:
+            outcome = _BENCHES[name](arity, depth, seed, mode)
+            if outcome is not None:
+                mode_results[name] = outcome
+        results[mode] = mode_results
+    report: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "config": {
+            "arity": arity,
+            "depth": depth,
+            "members": arity ** depth,
+            "seed": seed,
+            "modes": list(modes),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "results": results,
+    }
+    if "current" in results and "legacy" in results:
+        report["identity_check"] = _identity_check(
+            results["current"], results["legacy"]
+        )
+    return report
+
+
+def _identity_check(
+    current: Dict[str, Any], legacy: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Digests must agree between optimized and legacy code paths."""
+    out: Dict[str, Any] = {}
+    for name in current:
+        left = current[name].get("digest")
+        right = legacy.get(name, {}).get("digest")
+        if left is not None and right is not None:
+            out[name] = {"identical": left == right}
+    return out
+
+
+def _merge_baseline(report: Dict[str, Any], baseline: Dict[str, Any]) -> None:
+    """Attach a previously captured run and compute speedups."""
+    report["baseline"] = {
+        "config": baseline.get("config"),
+        "environment": baseline.get("environment"),
+        "results": baseline.get("results"),
+    }
+    if baseline.get("note") is not None:
+        report["baseline"]["note"] = baseline["note"]
+    speedups: Dict[str, Any] = {}
+    base_results = (baseline.get("results") or {}).get("current", {})
+    current_results = report.get("results", {}).get("current", {})
+    for name, base in base_results.items():
+        now = current_results.get(name)
+        if not now:
+            continue
+        entry: Dict[str, Any] = {}
+        for key in ("seconds", "build_seconds"):
+            before = base.get(key)
+            after = now.get(key)
+            if before and after:
+                entry[key.replace("seconds", "speedup")] = round(
+                    before / after, 2
+                )
+        before_digest = base.get("digest")
+        if before_digest is not None:
+            entry["identical_results"] = before_digest == now.get("digest")
+        speedups[name] = entry
+    report["speedup_vs_baseline"] = speedups
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf",
+        description="Hot-path microbenchmarks (round loop, match cache, "
+        "churn refresh) with JSON output.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI scale ({QUICK_SCALE['arity']}^{QUICK_SCALE['depth']} "
+        "members) instead of paper scale",
+    )
+    parser.add_argument("--arity", type=int, default=None)
+    parser.add_argument("--depth", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--mode",
+        choices=("current", "legacy", "both"),
+        default="current",
+        help="run the optimized paths, the ablation/legacy paths, or both",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        choices=sorted(_BENCHES),
+        help="benchmark to run (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help="JSON report from a previous run to compute speedups against",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default="BENCH_PR1.json",
+        help="output JSON path (default BENCH_PR1.json)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    scale = dict(QUICK_SCALE if args.quick else PAPER_SCALE)
+    if args.arity is not None:
+        scale["arity"] = args.arity
+    if args.depth is not None:
+        scale["depth"] = args.depth
+    modes = ("current", "legacy") if args.mode == "both" else (args.mode,)
+    baseline = None
+    if args.baseline:
+        # Read before the (possibly long) benchmark run: a bad path
+        # should fail in milliseconds, not after the suite.
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
+    report = run_suite(
+        scale["arity"],
+        scale["depth"],
+        seed=args.seed,
+        modes=modes,
+        benches=args.bench,
+    )
+    if baseline is not None:
+        _merge_baseline(report, baseline)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    summary = report.get("speedup_vs_baseline") or {}
+    for name, entry in summary.items():
+        print(f"{name}: speedup={entry.get('speedup')} "
+              f"identical={entry.get('identical_results')}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,8 @@ the bound itself is computed by the node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ProtocolError
 from repro.interests.events import Event
@@ -19,13 +19,26 @@ from repro.interests.events import Event
 __all__ = ["BufferedEvent", "DepthBuffers"]
 
 
-@dataclass
+@dataclass(slots=True)
 class BufferedEvent:
-    """One ``(event, rate, round)`` triple of a gossip buffer."""
+    """One ``(event, rate, round)`` triple of a gossip buffer.
+
+    The two trailing fields are a per-entry scratch cache for the
+    node's GOSSIP task: the candidate list (view entries minus self)
+    for the last :class:`~repro.core.rate.TableMatch` this entry was
+    gossiped under.  They are excluded from equality — two triples are
+    the same buffered state regardless of scratch contents.
+    """
 
     event: Event
     rate: float
     round: int
+    cached_for: Optional[Any] = field(
+        default=None, repr=False, compare=False
+    )
+    cached_candidates: Optional[List[Any]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate <= 1.0:
@@ -114,6 +127,18 @@ class DepthBuffers:
     def entries(self, depth: int) -> List[BufferedEvent]:
         """A snapshot of ``gossips[depth]`` (stable iteration order)."""
         return list(self._bucket(depth).values())
+
+    def active_depths(self) -> List[int]:
+        """Depths with at least one buffered event, ascending.
+
+        The GOSSIP task walks only these instead of probing all ``d``
+        buffers every round.
+        """
+        return [
+            index
+            for index, bucket in enumerate(self._buffers, start=1)
+            if bucket
+        ]
 
     def entry(self, depth: int, event: Event) -> BufferedEvent:
         """The buffered triple for ``event`` at ``depth``."""

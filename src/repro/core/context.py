@@ -3,20 +3,84 @@
 Matching an event against a whole view table "is a costly operation"
 (§3.3); within one dissemination the result is identical for every
 process sharing the table, so the context memoizes
-:func:`repro.core.rate.match_table` per ``(table, event)`` pair.  This
-is a cache of a deterministic function — semantics are unchanged.
+:func:`repro.core.rate.match_table`.  This is a cache of a
+deterministic function — semantics are unchanged.
+
+The cache has two layers, with different lifetimes:
+
+* **Verdict layer** — ``(interest.fingerprint(), event_id) -> bool``.
+  A verdict depends only on the interest's *structure* and the event,
+  so it survives membership churn: when a join rebuilds every table on
+  a prefix path, the regrouped interests in the new rows are almost all
+  structurally unchanged, and their verdicts are served from cache.
+* **Table layer** — ``table.cache_token -> {event_id -> TableMatch}``.
+  A :class:`~repro.core.rate.TableMatch` embeds the table's delegate
+  list, so it dies with the table *state*: any mutation advances
+  :attr:`~repro.membership.views.ViewTable.cache_token` and thereby
+  invalidates only that table's entries — churn on one prefix path no
+  longer cold-starts matching for the whole group.
+
+``keyed_cache=False`` restores the original behavior — a single
+``(id(table), event_id)`` map with only global invalidation — for
+ablation benchmarks and for tests pinning down the ``id()``-reuse
+hazard the token scheme exists to avoid.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.core.rate import TableMatch, match_table
 from repro.interests.events import Event
+from repro.interests.subscriptions import Interest
 from repro.membership.views import ViewTable
 
-__all__ = ["GossipContext"]
+__all__ = ["CacheStats", "GossipContext"]
+
+_MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters for the two match-cache layers (inspection only).
+
+    ``table_*`` counts :meth:`GossipContext.table_match` lookups;
+    ``verdict_*`` counts per-interest verdicts evaluated while filling
+    table misses.  ``invalidations`` counts explicit invalidation calls
+    (global or per-table).
+    """
+
+    table_hits: int = 0
+    table_misses: int = 0
+    verdict_hits: int = 0
+    verdict_misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def table_hit_rate(self) -> float:
+        """Fraction of table lookups served from cache (0.0 when idle)."""
+        total = self.table_hits + self.table_misses
+        return self.table_hits / total if total else 0.0
+
+    @property
+    def verdict_hit_rate(self) -> float:
+        """Fraction of interest verdicts served from cache."""
+        total = self.verdict_hits + self.verdict_misses
+        return self.verdict_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain-dict snapshot (benchmark reports, logging)."""
+        return {
+            "table_hits": self.table_hits,
+            "table_misses": self.table_misses,
+            "table_hit_rate": round(self.table_hit_rate, 4),
+            "verdict_hits": self.verdict_hits,
+            "verdict_misses": self.verdict_misses,
+            "verdict_hit_rate": round(self.verdict_hit_rate, 4),
+            "invalidations": self.invalidations,
+        }
 
 
 class GossipContext:
@@ -27,29 +91,140 @@ class GossipContext:
         threshold_h: the §5.3 tuning threshold applied by every node
             (a group-wide parameter: all processes of a subgroup must
             inflate identically for the tuning to be consistent).
+        keyed_cache: use the churn-surviving two-layer cache (default);
+            ``False`` selects the legacy identity-keyed cache, whose
+            only safe invalidation is :meth:`invalidate` (global).
     """
 
-    def __init__(self, rng: random.Random, threshold_h: int = 0):
+    def __init__(
+        self,
+        rng: random.Random,
+        threshold_h: int = 0,
+        keyed_cache: bool = True,
+    ):
         self.rng = rng
         self._threshold_h = threshold_h
-        # Keyed by table identity: tables are owned by the group for
-        # the context's whole lifetime, so id() is stable here.
-        self._cache: Dict[Tuple[int, int], TableMatch] = {}
+        self._keyed_cache = keyed_cache
+        # Keyed mode: id(table) -> (cache_token, {event_id -> TableMatch}).
+        # The token check makes a recycled id harmless — a different
+        # table (or a mutated state of this one) never token-matches.
+        self._tables: Dict[int, Tuple[int, Dict[int, TableMatch]]] = {}
+        # Keyed mode: (interest fingerprint, event_id) -> verdict.
+        self._verdicts: Dict[Tuple[int, int], bool] = {}
+        # Legacy mode: (id(table), event_id) -> TableMatch.
+        self._legacy: Dict[Tuple[int, int], TableMatch] = {}
+        # Round-bound memo, keyed (table token, rate, config); owned
+        # here because bounds share the table-state lifetime.
+        self._bounds: Dict[Tuple[int, float, object], int] = {}
+        self._stats = CacheStats()
 
     @property
     def threshold_h(self) -> int:
         """The tuning threshold in force for this run."""
         return self._threshold_h
 
-    def table_match(self, table: ViewTable, event: Event) -> TableMatch:
-        """Memoized ``match_table(table, event, threshold_h)``."""
-        key = (id(table), event.event_id)
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = match_table(table, event, self._threshold_h)
-            self._cache[key] = cached
+    @property
+    def keyed_cache(self) -> bool:
+        """True when the churn-surviving two-layer cache is active."""
+        return self._keyed_cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Live hit/miss counters for both cache layers."""
+        return self._stats
+
+    def _verdict(self, interest: Interest, event: Event) -> bool:
+        key = (interest.fingerprint(), event.event_id)
+        cached = self._verdicts.get(key, _MISS)
+        if cached is _MISS:
+            self._stats.verdict_misses += 1
+            cached = interest.matches(event)
+            self._verdicts[key] = cached
+        else:
+            self._stats.verdict_hits += 1
         return cached
 
+    def table_match(self, table: ViewTable, event: Event) -> TableMatch:
+        """Memoized ``match_table(table, event, threshold_h)``."""
+        if not self._keyed_cache:
+            key = (id(table), event.event_id)
+            cached = self._legacy.get(key)
+            if cached is None:
+                self._stats.table_misses += 1
+                cached = match_table(table, event, self._threshold_h)
+                self._legacy[key] = cached
+            else:
+                self._stats.table_hits += 1
+            return cached
+        token = table.cache_token
+        entry = self._tables.get(id(table))
+        if entry is None or entry[0] != token:
+            entry = (token, {})
+            self._tables[id(table)] = entry
+        per_event = entry[1]
+        match = per_event.get(event.event_id)
+        if match is None:
+            self._stats.table_misses += 1
+            match = match_table(
+                table, event, self._threshold_h, verdict=self._verdict
+            )
+            per_event[event.event_id] = match
+        else:
+            self._stats.table_hits += 1
+        return match
+
+    def round_bound_memo(
+        self, table: ViewTable, rate: float, config: object, compute
+    ) -> int:
+        """Memoize a per-(table state, rate, config) round bound.
+
+        The Figure 3 line 7 bound depends only on the table's entry
+        count, the propagated rate and static config, so it is constant
+        per table state; nodes recomputing it every round for every
+        buffered event go through here instead.
+        """
+        key = (table.cache_token, rate, config)
+        bound = self._bounds.get(key)
+        if bound is None:
+            bound = compute()
+            self._bounds[key] = bound
+        return bound
+
     def invalidate(self) -> None:
-        """Drop all memoized matches (views changed mid-run)."""
-        self._cache.clear()
+        """Drop all memoized matches (views changed mid-run).
+
+        In keyed mode this is rarely needed — token checks invalidate
+        mutated tables automatically — but it remains the conservative
+        big hammer, and the legacy cache's only correct response to any
+        membership change.  Interest verdicts are *not* dropped: they
+        depend only on interest structure and event content, never on
+        membership.
+        """
+        self._stats.invalidations += 1
+        self._tables.clear()
+        self._legacy.clear()
+        self._bounds.clear()
+
+    def invalidate_table(self, table: ViewTable) -> None:
+        """Drop memos for one table only (keyed mode's targeted hammer).
+
+        With token keying this is belt-and-braces — a mutated table
+        already misses — but it lets long-lived runs release entries
+        for tables being discarded outright.
+        """
+        self._stats.invalidations += 1
+        self._tables.pop(id(table), None)
+
+    def forget_event(self, event_id: int) -> None:
+        """Release all cache entries for a finished event.
+
+        Long-lived runtimes call this once an event leaves every
+        buffer; without it the per-event entries would accumulate for
+        the context's whole lifetime.
+        """
+        for __, per_event in self._tables.values():
+            per_event.pop(event_id, None)
+        if self._verdicts:
+            stale = [key for key in self._verdicts if key[1] == event_id]
+            for key in stale:
+                del self._verdicts[key]

@@ -17,7 +17,7 @@ from repro.interests.events import Event
 __all__ = ["GossipMessage", "Envelope"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipMessage:
     """One gossip: an event being multicast at a given tree depth.
 
@@ -48,7 +48,7 @@ class GossipMessage:
             raise ProtocolError(f"depth {self.depth} must be >= 1")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """A gossip message addressed to one destination process.
 

@@ -62,6 +62,21 @@ class PmcastNode:
         config: the protocol parameters.
     """
 
+    __slots__ = (
+        "_address",
+        "_interest",
+        "_views",
+        "_config",
+        "_tree_depth",
+        "_buffers",
+        "_received",
+        "_delivered",
+        "_delivered_ids",
+        "_messages_sent",
+        "_receptions",
+        "alive",
+    )
+
     def __init__(
         self,
         address: Address,
@@ -221,12 +236,15 @@ class PmcastNode:
         if not self.alive or self._buffers.is_empty:
             return []
         out: List[Envelope] = []
+        # Walk all depths, not a snapshot of the populated ones: a
+        # demotion at depth i must be gossiped at depth i+1 within this
+        # same firing (Figure 3's in-place loop).
         for depth in range(1, self._tree_depth + 1):
             for entry in self._buffers.entries(depth):
                 match = ctx.table_match(self._views[depth], entry.event)
                 if self._try_leaf_flood(depth, entry, match, out):
                     continue
-                bound = self._round_bound(depth, entry.rate)
+                bound = self._round_bound(depth, entry.rate, ctx)
                 if entry.round < bound:
                     entry.round += 1
                     self._emit_gossips(depth, entry, match, ctx, out)
@@ -249,9 +267,24 @@ class PmcastNode:
             self._delivered.append(event)
             self._delivered_ids.add(event.event_id)
 
-    def _round_bound(self, depth: int, rate: float) -> int:
-        """Line 7: ``T(|view[depth]|·R·rate, F·rate)`` as an integer bound."""
+    def _round_bound(
+        self, depth: int, rate: float, ctx: GossipContext
+    ) -> int:
+        """Line 7: ``T(|view[depth]|·R·rate, F·rate)`` as an integer bound.
+
+        Constant per (table state, rate, config), so the shared context
+        memoizes it — every process of a subgroup would otherwise
+        recompute the identical Pittel estimate every round.
+        """
         table = self._views[depth]
+        return ctx.round_bound_memo(
+            table,
+            rate,
+            self._config,
+            lambda: self._compute_round_bound(table, rate),
+        )
+
+    def _compute_round_bound(self, table: ViewTable, rate: float) -> int:
         effective_n = table.entry_count * rate
         effective_f = self._config.fanout * rate
         if self._config.loss_aware_rounds:
@@ -281,9 +314,19 @@ class PmcastNode:
         out: List[Envelope],
     ) -> None:
         """Lines 9–14: draw F destinations, send to the interested ones."""
-        candidates = [
-            address for address in match.entries if address != self._address
-        ]
+        # The candidate list is fixed per (entry, match); matches are
+        # memoized per table state, so identity-checking the match
+        # makes the scratch cache exactly as fresh as the view.
+        if entry.cached_for is match:
+            candidates = entry.cached_candidates
+        else:
+            candidates = [
+                address
+                for address in match.entries
+                if address != self._address
+            ]
+            entry.cached_for = match
+            entry.cached_candidates = candidates
         if not candidates:
             return
         message = GossipMessage(

@@ -14,12 +14,13 @@ as interested as well (see :mod:`repro.core.tuning`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Tuple
+from typing import Callable, FrozenSet, List, Optional, Tuple
 
 from repro.addressing import Address
 from repro.core.tuning import inflate_audience
 from repro.errors import ProtocolError
 from repro.interests.events import Event
+from repro.interests.subscriptions import Interest
 from repro.membership.views import ViewTable
 
 __all__ = ["TableMatch", "match_table"]
@@ -57,10 +58,15 @@ class TableMatch:
         return address in self.matching
 
 
+def _direct_verdict(interest: Interest, event: Event) -> bool:
+    return interest.matches(event)
+
+
 def match_table(
     table: ViewTable,
     event: Event,
     threshold_h: int = 0,
+    verdict: Optional[Callable[[Interest, Event], bool]] = None,
 ) -> TableMatch:
     """GETRATE plus the effective interested-entry set.
 
@@ -68,6 +74,10 @@ def match_table(
         table: the view of the subgroup being gossiped in.
         event: the event being multicast.
         threshold_h: the §5.3 tuning threshold (0 disables tuning).
+        verdict: optional replacement for ``interest.matches(event)`` —
+            the hook :class:`~repro.core.context.GossipContext` uses to
+            serve per-(interest, event) verdicts from its cache.  Must
+            be extensionally equal to ``Interest.matches``.
 
     Raises:
         ProtocolError: if the table has no entries (an unpopulated view
@@ -75,10 +85,12 @@ def match_table(
     """
     if threshold_h < 0:
         raise ProtocolError(f"threshold h={threshold_h} must be >= 0")
+    if verdict is None:
+        verdict = _direct_verdict
     flattened: List[Address] = []
     matching: List[Address] = []
     for row in table.rows():
-        row_matches = row.interest.matches(event)
+        row_matches = verdict(row.interest, event)
         for delegate in row.delegates:
             flattened.append(delegate)
             if row_matches:

@@ -29,8 +29,17 @@ from repro.interests.predicates import Constraint
 __all__ = ["Interest", "Subscription", "StaticInterest"]
 
 
+#: Interned fingerprints: structural identity -> small stable int.
+#: Structurally equal interests recur massively (regrouping folds the
+#: same unions per subtree; Bernoulli workloads have only two distinct
+#: interests), so the table stays tiny relative to the group.
+_FINGERPRINTS: Dict["Interest", int] = {}
+
+
 class Interest(ABC):
     """Anything that can decide interest in an event and be regrouped."""
+
+    __slots__ = ("_fp",)
 
     @abstractmethod
     def matches(self, event: Event) -> bool:
@@ -39,6 +48,29 @@ class Interest(ABC):
     @abstractmethod
     def union(self, other: "Interest") -> "Interest":
         """A conservative summary matching whenever either side matches."""
+
+    def fingerprint(self) -> int:
+        """A stable int identifying this interest's *structure*.
+
+        Structurally equal interests (``==``) share a fingerprint, and a
+        fingerprint is never reused for a different structure, so
+        ``(fingerprint, event_id)`` keys a match-verdict cache that
+        survives membership churn — unlike ``id(table)`` keys, which die
+        (or worse, get recycled) whenever views are rebuilt.
+
+        Relies on subclasses being immutable with structural
+        ``__eq__``/``__hash__``, which both implementations are.
+        """
+        try:
+            return self._fp
+        except AttributeError:
+            pass
+        fp = _FINGERPRINTS.get(self)
+        if fp is None:
+            fp = len(_FINGERPRINTS) + 1
+            _FINGERPRINTS[self] = fp
+        self._fp = fp
+        return fp
 
 
 class Subscription(Interest):

@@ -19,6 +19,7 @@ from repro.membership.knowledge import (
     build_process_views,
     build_view,
     known_process_count,
+    refreshed_rows,
     regular_total_view_size,
     regular_view_sizes,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "ViewRow",
     "ViewTable",
     "build_view",
+    "refreshed_rows",
     "build_process_views",
     "build_all_views",
     "known_process_count",

@@ -36,6 +36,12 @@ class FailureDetector:
         self._owner = owner
         self._timeout = timeout
         self._last_contact: Dict[Address, int] = {}
+        # A lower bound on min(last_contact values).  Contacts only
+        # raise values and unwatch only removes them, so the bound stays
+        # valid without per-contact maintenance; suspects() recomputes
+        # it lazily, making the common every-neighbor-is-fresh round
+        # O(1) instead of a full scan.
+        self._floor = 0
 
     @property
     def owner(self) -> Address:
@@ -51,7 +57,10 @@ class FailureDetector:
         """Start monitoring a neighbor as of time ``now``."""
         if neighbor == self._owner:
             raise MembershipError("a process does not monitor itself")
-        self._last_contact.setdefault(neighbor, now)
+        if neighbor not in self._last_contact:
+            self._last_contact[neighbor] = now
+            if now < self._floor:
+                self._floor = now
 
     def unwatch(self, neighbor: Address) -> None:
         """Stop monitoring (the neighbor left or was excluded)."""
@@ -66,7 +75,11 @@ class FailureDetector:
         if neighbor == self._owner:
             return
         previous = self._last_contact.get(neighbor)
-        if previous is None or now > previous:
+        if previous is None:
+            self._last_contact[neighbor] = now
+            if now < self._floor:
+                self._floor = now
+        elif now > previous:
             self._last_contact[neighbor] = now
 
     def watched(self) -> List[Address]:
@@ -84,6 +97,15 @@ class FailureDetector:
 
     def suspects(self, now: int) -> List[Address]:
         """Neighbors silent for more than the timeout, sorted."""
+        if not self._last_contact:
+            return []
+        if now - self._floor <= self._timeout:
+            return []
+        # The bound is stale (or someone really is silent): tighten it
+        # to the true minimum, then scan only if suspicion persists.
+        self._floor = min(self._last_contact.values())
+        if now - self._floor <= self._timeout:
+            return []
         return sorted(
             neighbor
             for neighbor, last in self._last_contact.items()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.addressing import Address
 from repro.errors import MembershipError
@@ -38,7 +38,13 @@ Digest = Dict[Tuple[int, int], int]
 
 @dataclass
 class MembershipState:
-    """One process's membership knowledge: a table per depth 1..d."""
+    """One process's membership knowledge: a table per depth 1..d.
+
+    ``digest()`` and ``peers()`` are recomputed on every anti-entropy
+    interaction in a long-running group, yet only change when a table
+    does; both are memoized against :meth:`version` (the tuple of table
+    cache tokens).  Treat the returned containers as read-only.
+    """
 
     owner: Address
     tables: Dict[int, ViewTable]
@@ -53,14 +59,26 @@ class MembershipState:
                 raise MembershipError(
                     f"table {table.prefix} is not on {self.owner}'s path"
                 )
+        self._digest_version: Optional[Tuple[int, ...]] = None
+        self._digest_memo: Digest = {}
+        self._peers_version: Optional[Tuple[int, ...]] = None
+        self._peers_memo: List[Address] = []
+
+    def version(self) -> Tuple[int, ...]:
+        """The tuple of table cache tokens: changes iff a table does."""
+        return tuple(table.cache_token for table in self.tables.values())
 
     def digest(self) -> Digest:
         """(line, timestamp) tuples for every line in every table."""
-        out: Digest = {}
-        for depth, table in self.tables.items():
-            for infix, timestamp in table.digest().items():
-                out[(depth, infix)] = timestamp
-        return out
+        version = self.version()
+        if version != self._digest_version:
+            out: Digest = {}
+            for depth, table in self.tables.items():
+                for infix, timestamp in table.digest().items():
+                    out[(depth, infix)] = timestamp
+            self._digest_memo = out
+            self._digest_version = version
+        return self._digest_memo
 
     def fresher_rows(self, digest: Digest) -> List[Tuple[int, ViewRow]]:
         """Lines where this process is strictly fresher than ``digest``.
@@ -98,14 +116,18 @@ class MembershipState:
 
     def peers(self) -> List[Address]:
         """Every process appearing in any table (gossip candidates)."""
-        seen = []
-        seen_set = set()
-        for table in self.tables.values():
-            for address in table.addresses():
-                if address != self.owner and address not in seen_set:
-                    seen_set.add(address)
-                    seen.append(address)
-        return seen
+        version = self.version()
+        if version != self._peers_version:
+            seen = []
+            seen_set = set()
+            for table in self.tables.values():
+                for address in table.addresses():
+                    if address != self.owner and address not in seen_set:
+                        seen_set.add(address)
+                        seen.append(address)
+            self._peers_memo = seen
+            self._peers_version = version
+        return self._peers_memo
 
 
 def exchange(gossiper: MembershipState, receiver: MembershipState) -> int:
@@ -119,6 +141,10 @@ def exchange(gossiper: MembershipState, receiver: MembershipState) -> int:
     Returns the number of lines the gossiper updated.
     """
     digest = gossiper.digest()
+    # Already-synced pairs dominate a converged group's exchanges;
+    # equal digests mean fresher_rows would return nothing.
+    if digest == receiver.digest():
+        return 0
     updates = receiver.fresher_rows(digest)
     # Restrict to tables the two processes share (same prefix at a depth);
     # rows for a foreign subtree would silently corrupt the gossiper's view.

@@ -25,6 +25,7 @@ from repro.membership.views import ViewRow, ViewTable
 
 __all__ = [
     "build_view",
+    "refreshed_rows",
     "build_process_views",
     "build_all_views",
     "known_process_count",
@@ -83,6 +84,68 @@ def build_view(
                 )
             )
     return ViewTable(prefix, tree.depth, rows)
+
+
+def refreshed_rows(
+    tree: MembershipTree,
+    prefix: Prefix,
+    existing: ViewTable,
+    changed_child: int,
+    timestamp: int,
+    policy: Optional[RegroupPolicy] = None,
+) -> List[ViewRow]:
+    """Rows for an incremental rebuild of one path table.
+
+    Content-identical to ``build_view(tree, prefix, timestamp).rows()``
+    when the tree differs from the state ``existing`` describes only
+    inside the ``changed_child`` subtree: the other children's subtrees
+    did not move, so their regrouped interests, delegates and process
+    counts are reused from ``existing`` and merely restamped at
+    ``timestamp`` (a full rebuild stamps every row at the new clock,
+    and anti-entropy compares timestamps line by line, so restamping is
+    required for equivalence).  Only the changed child's row — or the
+    changed member's at depth ``d`` — is recomputed, turning a
+    membership change from one regroup per child subtree into a single
+    regroup of the changed subtree.
+    """
+    if not tree.is_populated(prefix):
+        raise MembershipError(f"prefix {prefix} is not populated")
+    rows: List[ViewRow] = []
+    if prefix.depth == tree.depth:
+        for address in tree.subtree_members(prefix):
+            infix = address.components[-1]
+            if infix != changed_child and existing.has_row(infix):
+                rows.append(existing.row(infix).with_timestamp(timestamp))
+            else:
+                rows.append(
+                    ViewRow(
+                        infix=infix,
+                        delegates=(address,),
+                        interest=tree.interest_of(address),
+                        process_count=1,
+                        timestamp=timestamp,
+                    )
+                )
+    else:
+        for child in tree.populated_children(prefix):
+            if child != changed_child and existing.has_row(child):
+                rows.append(existing.row(child).with_timestamp(timestamp))
+                continue
+            child_prefix = prefix.child(child)
+            members = tree.subtree_members(child_prefix)
+            summary = regroup(
+                (tree.interest_of(address) for address in members), policy
+            )
+            rows.append(
+                ViewRow(
+                    infix=child,
+                    delegates=tree.delegates(child_prefix),
+                    interest=summary,
+                    process_count=len(members),
+                    timestamp=timestamp,
+                )
+            )
+    return rows
 
 
 def build_process_views(

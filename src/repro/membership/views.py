@@ -13,12 +13,22 @@ depth ``d`` every row describes a single neighbor process.
 All processes sharing a prefix see the same table content once views
 have converged, which is why the simulator shares table objects per
 prefix (an exact-memory optimization, not a semantic change).
+
+Tables are read far more often than they change (every node consults
+its whole view path every round; membership changes are rare), so the
+flattened forms — :meth:`ViewTable.rows`, :meth:`ViewTable.entries`,
+:meth:`ViewTable.addresses`, :attr:`ViewTable.entry_count` — are
+memoized and invalidated on mutation.  Every mutation also advances the
+table's :attr:`ViewTable.cache_token`, a process-wide unique version
+number: unlike ``id()``, a token is never reused after the table (or a
+table state) is gone, so external caches may key on it safely.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.addressing import Address, Prefix
 from repro.errors import MembershipError
@@ -27,8 +37,11 @@ from repro.interests.subscriptions import Interest
 
 __all__ = ["ViewRow", "ViewTable"]
 
+#: Process-wide version numbers for table states; never reused.
+_TOKENS = itertools.count(1)
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class ViewRow:
     """One line of a view table: a child subgroup summary.
 
@@ -79,7 +92,17 @@ class ViewTable:
         rows: the initial lines, keyed by infix internally.
     """
 
-    __slots__ = ("_prefix", "_tree_depth", "_rows")
+    __slots__ = (
+        "_prefix",
+        "_tree_depth",
+        "_rows",
+        "_token",
+        "_memo_rows",
+        "_memo_entries",
+        "_memo_addresses",
+        "_memo_entry_count",
+        "_memo_digest",
+    )
 
     def __init__(
         self,
@@ -101,6 +124,32 @@ class ViewTable:
                     f"duplicate infix {row.infix} in view of {prefix}"
                 )
             self._rows[row.infix] = row
+        self._token = next(_TOKENS)
+        self._clear_memos()
+
+    def _clear_memos(self) -> None:
+        self._memo_rows: Optional[List[ViewRow]] = None
+        self._memo_entries: Optional[List[Tuple[Address, ViewRow]]] = None
+        self._memo_addresses: Optional[List[Address]] = None
+        self._memo_entry_count: Optional[int] = None
+        self._memo_digest: Optional[Dict[int, int]] = None
+
+    def _touch(self) -> None:
+        """Version bump + memo drop: every mutation funnels through here."""
+        self._token = next(_TOKENS)
+        self._clear_memos()
+
+    @property
+    def cache_token(self) -> int:
+        """A process-wide unique version number for this table state.
+
+        Advances on every mutation and is never shared with any other
+        table or any earlier state of this one, so ``cache_token`` is a
+        safe cache key where ``id()`` is not: a garbage-collected
+        table's id can be recycled by a newly allocated one, silently
+        aliasing cache entries.
+        """
+        return self._token
 
     @property
     def prefix(self) -> Prefix:
@@ -130,11 +179,19 @@ class ViewTable:
     @property
     def entry_count(self) -> int:
         """Total gossipable processes: ``|view| * R`` below depth d."""
-        return sum(len(row.delegates) for row in self._rows.values())
+        if self._memo_entry_count is None:
+            self._memo_entry_count = sum(
+                len(row.delegates) for row in self._rows.values()
+            )
+        return self._memo_entry_count
 
     def rows(self) -> List[ViewRow]:
         """All lines, sorted by infix (deterministic iteration order)."""
-        return [self._rows[infix] for infix in sorted(self._rows)]
+        if self._memo_rows is None:
+            self._memo_rows = [
+                self._rows[infix] for infix in sorted(self._rows)
+            ]
+        return self._memo_rows
 
     def row(self, infix: int) -> ViewRow:
         """The line for child subgroup ``infix``."""
@@ -152,10 +209,30 @@ class ViewTable:
     def upsert(self, row: ViewRow) -> None:
         """Insert or replace the line for ``row.infix``."""
         self._rows[row.infix] = row
+        self._touch()
 
     def discard(self, infix: int) -> None:
         """Drop the line for ``infix`` if present (leave/failure)."""
-        self._rows.pop(infix, None)
+        if self._rows.pop(infix, None) is not None:
+            self._touch()
+
+    def replace_rows(self, rows: Sequence[ViewRow]) -> None:
+        """Swap in a whole new set of lines (incremental view refresh).
+
+        Content-equivalent to building a fresh table, but keeps the
+        object identity — every node holding this table sees the new
+        rows without being re-wired.  The :attr:`cache_token` advances,
+        so token-keyed caches treat the result as a brand-new table.
+        """
+        fresh: Dict[int, ViewRow] = {}
+        for row in rows:
+            if row.infix in fresh:
+                raise MembershipError(
+                    f"duplicate infix {row.infix} in view of {self._prefix}"
+                )
+            fresh[row.infix] = row
+        self._rows = fresh
+        self._touch()
 
     def entries(self) -> List[Tuple[Address, ViewRow]]:
         """Flattened gossip targets: every delegate with its row.
@@ -165,16 +242,22 @@ class ViewTable:
         send is its row's regrouped interest (the delegate is
         susceptible on behalf of the subtree it represents).
         """
-        out: List[Tuple[Address, ViewRow]] = []
-        for infix in sorted(self._rows):
-            row = self._rows[infix]
-            for delegate in row.delegates:
-                out.append((delegate, row))
-        return out
+        if self._memo_entries is None:
+            out: List[Tuple[Address, ViewRow]] = []
+            for row in self.rows():
+                for delegate in row.delegates:
+                    out.append((delegate, row))
+            self._memo_entries = out
+        return self._memo_entries
 
     def addresses(self) -> List[Address]:
         """All delegate addresses, sorted by (infix, address)."""
-        return [address for address, __ in self.entries()]
+        if self._memo_addresses is None:
+            out: List[Address] = []
+            for row in self.rows():
+                out.extend(sorted(row.delegates))
+            self._memo_addresses = out
+        return self._memo_addresses
 
     def matching_rows(self, event: Event) -> List[ViewRow]:
         """The lines whose regrouped interest matches ``event``."""
@@ -186,7 +269,11 @@ class ViewTable:
 
     def digest(self) -> Dict[int, int]:
         """(infix -> timestamp) summary used by gossip-pull exchanges."""
-        return {infix: row.timestamp for infix, row in self._rows.items()}
+        if self._memo_digest is None:
+            self._memo_digest = {
+                infix: row.timestamp for infix, row in self._rows.items()
+            }
+        return self._memo_digest
 
     def clone(self) -> "ViewTable":
         """An independent copy (rows are immutable, so sharing is safe)."""

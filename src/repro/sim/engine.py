@@ -14,12 +14,13 @@ collection emptied all buffers) or at the ``max_rounds`` safety cap.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.addressing import Address, distance
 from repro.config import SimConfig
 from repro.core.context import GossipContext
 from repro.core.messages import Envelope
+from repro.core.node import PmcastNode
 from repro.errors import SimulationError
 from repro.interests.events import Event
 from repro.sim.crashes import CrashSchedule
@@ -91,7 +92,12 @@ def run_dissemination(
         if origin.has_delivered(event):
             trace.record(0, "deliver", publisher, event_id=event.event_id)
 
-    active: Set[Address] = {publisher}
+    # The active set is an insertion-ordered dict, not a set: gossip
+    # order feeds the shared RNG, and set iteration order depends on
+    # the per-process string hash seed (PYTHONHASHSEED) through
+    # Address.__hash__ — a run would not be reproducible across
+    # processes.  Dict order is insertion order, always.
+    active: Dict[Address, PmcastNode] = {publisher: origin}
     infected: Set[Address] = {publisher}
     infection_curve: List[int] = []
     tree_depth = group.tree.depth
@@ -101,17 +107,19 @@ def run_dissemination(
         for victim in crash_schedule.crashes_at(round_index):
             node = group.node(victim)
             node.alive = False
-            active.discard(victim)
+            active.pop(victim, None)
         if not active:
             break
         rounds = round_index + 1
 
         envelopes: List[Envelope] = []
-        for address in list(active):
-            node = group.node(address)
+        idle: List[Address] = []
+        for address, node in active.items():
             envelopes.extend(node.gossip_step(ctx))
             if node.is_idle:
-                active.discard(address)
+                idle.append(address)
+        for address in idle:
+            del active[address]
         for envelope in envelopes:
             hops = distance(envelope.message.sender, envelope.destination)
             messages_by_distance[max(hops, 1) - 1] += 1
@@ -157,7 +165,7 @@ def run_dissemination(
             if receiver.alive:
                 infected.add(envelope.destination)
                 if not receiver.is_idle:
-                    active.add(envelope.destination)
+                    active[envelope.destination] = receiver
 
         infection_curve.append(len(infected))
 

@@ -21,11 +21,23 @@ every round, alongside the Figure 3 event gossip,
 Processes crash silently through :meth:`GroupRuntime.crash`; the
 runtime exposes how long detection and exclusion took, and publishes
 keep flowing before, during and after.
+
+Scheduling is **active-set** based: an event round only visits the
+processes that actually buffer an event (*infected* processes), so a
+round costs O(infected), not O(n) — at paper scale almost every node
+is idle almost always.  Skipping an idle node is free of side effects:
+its GOSSIP task returns immediately without drawing randomness, so the
+active-set walk consumes the shared RNG exactly like the full scan,
+provided the visit *order* matches.  The runtime therefore stamps each
+node with a wiring sequence number and walks the active set in that
+order — the same order the full scan would use.  Construct with
+``active_scheduling=False`` to restore the full per-round scan (an
+ablation hook for benchmarks); results are identical either way.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.addressing import Address, Prefix
 from repro.config import PmcastConfig, SimConfig
@@ -37,7 +49,7 @@ from repro.interests.events import Event
 from repro.interests.subscriptions import Interest
 from repro.membership.failure_detector import FailureDetector, SuspicionQuorum
 from repro.membership.gossip_pull import MembershipState, exchange
-from repro.membership.knowledge import build_process_views, build_view
+from repro.membership.knowledge import build_view, refreshed_rows
 from repro.membership.tree import MembershipTree
 from repro.membership.views import ViewTable
 from repro.sim.network import LossyNetwork
@@ -63,6 +75,10 @@ class GroupRuntime:
             from the sender's replica ("membership information can be
             piggybacked when gossiping events", §2.3), accelerating
             view convergence wherever events already flow.
+        active_scheduling: walk only event-buffering nodes per round
+            (the default); ``False`` restores the full O(n) scan for
+            ablation measurements.  The two modes produce identical
+            results.
     """
 
     def __init__(
@@ -73,6 +89,7 @@ class GroupRuntime:
         detector_timeout: int = 12,
         exclusion_quorum: Optional[int] = None,
         piggyback_membership: bool = False,
+        active_scheduling: bool = True,
     ):
         if not members:
             raise SimulationError("cannot start an empty runtime")
@@ -81,6 +98,7 @@ class GroupRuntime:
         self._detector_timeout = detector_timeout
         self._exclusion_quorum = exclusion_quorum
         self._piggyback_membership = piggyback_membership
+        self._active_scheduling = active_scheduling
         self._tree = MembershipTree.build(members, self._config.redundancy)
         self._clock = 0
         self._round = 0
@@ -91,6 +109,23 @@ class GroupRuntime:
         self._quorums: Dict[Address, SuspicionQuorum] = {}
         self._excluded_at: Dict[Address, int] = {}
         self._crashed: Set[Address] = set()
+        # Active-set scheduling: the addresses whose nodes buffer at
+        # least one event.  Walked in wiring order (the _nodes insertion
+        # order a full scan would use) so the shared gossip RNG is
+        # consumed identically in both scheduling modes.
+        self._active: Set[Address] = set()
+        self._node_seq: Dict[Address, int] = {}
+        self._wire_seq = 0
+        # Derived-state caches, all dropped by _membership_changed():
+        # the member list snapshot, per-member live-neighbor lists, and
+        # per-member far-peer lists (the latter also keyed on the
+        # replica version, since anti-entropy changes it mid-run).
+        self._membership_epoch = 0
+        self._members_cache: Optional[List[Address]] = None
+        self._neighbors_cache: Dict[Address, List[Address]] = {}
+        self._far_cache: Dict[
+            Address, Tuple[Tuple[int, Tuple[int, ...]], List[Address]]
+        ] = {}
         self._ctx = GossipContext(
             derive_rng(self._sim_config.seed, "runtime-gossip"),
             threshold_h=self._config.threshold_h,
@@ -124,6 +159,15 @@ class GroupRuntime:
         """The current membership ground truth."""
         return self._tree
 
+    @property
+    def active_count(self) -> int:
+        """How many processes currently buffer an event (are *infected*).
+
+        This is the per-round event-gossip cost under active-set
+        scheduling; it is maintained in both scheduling modes.
+        """
+        return len(self._active)
+
     def node(self, address: Address) -> PmcastNode:
         """The protocol node of a (possibly crashed) process."""
         try:
@@ -153,21 +197,27 @@ class GroupRuntime:
         if not node.alive:
             raise SimulationError(f"{publisher} has crashed")
         node.pmcast(event, self._ctx)
+        if not node.is_idle:
+            self._active.add(publisher)
 
     def crash(self, address: Address) -> None:
         """Silently crash a process (it stays in views until excluded)."""
         node = self.node(address)
         node.alive = False
         self._crashed.add(address)
+        self._active.discard(address)
+        self._membership_changed()
 
     def join(self, address: Address, interest: Interest) -> None:
         """Add a process to the running group (§2.3 join, converged).
 
         The tree gains the member, the tables on its prefix path are
-        rebuilt at a fresh timestamp (what the contact-chain protocol
-        of :func:`repro.membership.lifecycle.join` converges to), every
-        node is re-wired onto the shared tables, and the newcomer and
-        its immediate neighbors start watching each other.
+        refreshed in place at a fresh timestamp (what the contact-chain
+        protocol of :func:`repro.membership.lifecycle.join` converges
+        to), the newcomer is wired onto the shared tables, and it and
+        its immediate neighbors start watching each other.  No other
+        member is touched: they hold the very table objects that were
+        just refreshed.
         """
         if address in self._tree:
             raise SimulationError(f"{address} is already a member")
@@ -188,6 +238,8 @@ class GroupRuntime:
         self._replicas.pop(address, None)
         self._detectors.pop(address, None)
         self._quorums.pop(address, None)
+        self._active.discard(address)
+        self._node_seq.pop(address, None)
         self._refresh_path(address)
         for detector in self._detectors.values():
             detector.unwatch(address)
@@ -198,14 +250,29 @@ class GroupRuntime:
         """Execute one round: event gossip, membership gossip, detection."""
         self._round += 1
         envelopes: List[Envelope] = []
-        for address, node in self._nodes.items():
-            if node.alive and address in self._tree:
+        if self._active_scheduling:
+            for address in sorted(
+                self._active, key=self._node_seq.__getitem__
+            ):
+                node = self._nodes[address]
+                if not node.alive or address not in self._tree:
+                    continue
                 envelopes.extend(node.gossip_step(self._ctx))
+                if node.is_idle:
+                    self._active.discard(address)
+        else:
+            for address, node in self._nodes.items():
+                if node.alive and address in self._tree:
+                    envelopes.extend(node.gossip_step(self._ctx))
+                    if node.is_idle:
+                        self._active.discard(address)
         for envelope in self._network.transmit(envelopes):
             receiver = self._nodes.get(envelope.destination)
             if receiver is None or not receiver.alive:
                 continue
             receiver.receive(envelope.message, self._ctx)
+            if not receiver.is_idle:
+                self._active.add(envelope.destination)
             self._record_contact(
                 envelope.destination, envelope.message.sender
             )
@@ -225,7 +292,10 @@ class GroupRuntime:
     def run_until_idle(self, max_rounds: int = 256) -> int:
         """Step until no event is buffered anywhere; returns rounds run."""
         for executed in range(max_rounds):
-            if all(
+            if self._active_scheduling:
+                if not self._active:
+                    return executed
+            elif all(
                 node.is_idle or not node.alive
                 for node in self._nodes.values()
             ):
@@ -246,6 +316,8 @@ class GroupRuntime:
             views[prefix.depth] = self._tables[prefix]
         existing = self._nodes.get(address)
         if existing is None:
+            self._node_seq[address] = self._wire_seq
+            self._wire_seq += 1
             self._nodes[address] = PmcastNode(
                 address,
                 self._tree.interest_of(address),
@@ -256,15 +328,14 @@ class GroupRuntime:
             for depth, table in views.items():
                 existing.replace_view(depth, table)
         if address not in self._replicas:
-            # The replica holds private clones: staleness is per-process.
+            # The replica holds private clones: staleness is
+            # per-process.  The shared path tables carry exactly the
+            # rows a fresh per-process build would produce (they were
+            # built or refreshed at the current clock), so cloning them
+            # replaces the per-member O(n) view derivation.
             self._replicas[address] = MembershipState(
                 address,
-                {
-                    depth: table.clone()
-                    for depth, table in build_process_views(
-                        self._tree, address, self._clock
-                    ).items()
-                },
+                {depth: table.clone() for depth, table in views.items()},
             )
         if address not in self._detectors:
             self._detectors[address] = FailureDetector(
@@ -286,17 +357,60 @@ class GroupRuntime:
             if quorum is not None:
                 quorum.retract(sender, owner)
 
+    def _membership_changed(self) -> None:
+        """Drop every cache derived from membership or liveness."""
+        self._membership_epoch += 1
+        self._members_cache = None
+        self._neighbors_cache.clear()
+
+    def _members(self) -> List[Address]:
+        """The member list, cached between membership changes.
+
+        Callers iterating it while excluding members (detection) keep a
+        reference to the old list — the same snapshot semantics as the
+        per-round ``list(...)`` copy this replaces; the cache slot is
+        *replaced*, never mutated in place.
+        """
+        if self._members_cache is None:
+            self._members_cache = list(self._tree.members())
+        return self._members_cache
+
     def _live_neighbors(self, address: Address) -> List[Address]:
-        prefix = address.prefix(self._tree.depth)
-        return [
-            neighbor
-            for neighbor in self._tree.subtree_members(prefix)
-            if neighbor != address and neighbor not in self._crashed
+        cached = self._neighbors_cache.get(address)
+        if cached is None:
+            prefix = address.prefix(self._tree.depth)
+            cached = [
+                neighbor
+                for neighbor in self._tree.subtree_members(prefix)
+                if neighbor != address and neighbor not in self._crashed
+            ]
+            self._neighbors_cache[address] = cached
+        return cached
+
+    def _far_peers(
+        self, address: Address, replica: MembershipState
+    ) -> List[Address]:
+        """The member's live far gossip candidates, cached.
+
+        The list depends on the replica's tables (which anti-entropy
+        mutates) and on membership/liveness, so the cache entry carries
+        both the replica version and the membership epoch.
+        """
+        key = (self._membership_epoch, replica.version())
+        cached = self._far_cache.get(address)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        far = [
+            peer
+            for peer in replica.peers()
+            if peer in self._replicas and peer not in self._crashed
         ]
+        self._far_cache[address] = (key, far)
+        return far
 
     def _membership_round(self) -> None:
         """Dedicated membership gossips: one near pull, one far pull."""
-        for address in list(self._tree.members()):
+        for address in self._members():
             if address in self._crashed:
                 continue
             replica = self._replicas[address]
@@ -304,11 +418,7 @@ class GroupRuntime:
             candidates: List[Address] = []
             if near:
                 candidates.append(self._membership_rng.choice(near))
-            far = [
-                peer
-                for peer in replica.peers()
-                if peer in self._replicas and peer not in self._crashed
-            ]
+            far = self._far_peers(address, replica)
             if far:
                 candidates.append(self._membership_rng.choice(far))
             for peer in candidates:
@@ -326,7 +436,7 @@ class GroupRuntime:
         once, and those must not feed exclusions.
         """
         depth = self._tree.depth
-        for address in list(self._tree.members()):
+        for address in self._members():
             if address in self._crashed:
                 continue
             detector = self._detectors[address]
@@ -348,22 +458,50 @@ class GroupRuntime:
                     break
 
     def _refresh_path(self, address: Address) -> None:
-        """Rebuild the tables on a changed prefix path; re-wire nodes."""
-        # The gossip context memoizes matches by table identity; after a
-        # membership change old tables are garbage-collected and a new
-        # table could be allocated at a recycled id, silently hitting a
-        # stale cache entry.  Drop the whole cache on every change.
-        self._ctx.invalidate()
+        """Refresh the tables on a changed prefix path, in place.
+
+        Every table on the path is brought to the content a full
+        rebuild at the new clock would produce, but through
+        :meth:`~repro.membership.views.ViewTable.replace_rows` — object
+        identity is preserved, so no other member needs re-wiring, and
+        the advancing cache token invalidates exactly these tables'
+        match-cache entries.  Only rows describing the changed member's
+        subtrees are recomputed; sibling rows are restamped.  A prefix
+        newly populated by a join gets a fresh table wired into the
+        (new) subtree members; one emptied by a removal is dropped.
+        """
+        if not self._ctx.keyed_cache:
+            # The legacy identity-keyed cache cannot tell a mutated
+            # table from its old state; global invalidation is its only
+            # safe response to a membership change.
+            self._ctx.invalidate()
         self._clock += 1
+        self._membership_changed()
+        components = address.components
         for prefix in address.prefixes():
+            existing = self._tables.get(prefix)
             if self._tree.is_populated(prefix):
-                self._tables[prefix] = build_view(
-                    self._tree, prefix, self._clock
-                )
-            else:
-                self._tables.pop(prefix, None)
-        for member in self._tree.members():
-            self._wire(member)
+                changed_child = components[len(prefix.components)]
+                if existing is None:
+                    fresh = build_view(self._tree, prefix, self._clock)
+                    self._tables[prefix] = fresh
+                    for member in self._tree.subtree_members(prefix):
+                        node = self._nodes.get(member)
+                        if node is not None:
+                            node.replace_view(prefix.depth, fresh)
+                else:
+                    existing.replace_rows(
+                        refreshed_rows(
+                            self._tree,
+                            prefix,
+                            existing,
+                            changed_child,
+                            self._clock,
+                        )
+                    )
+            elif existing is not None:
+                del self._tables[prefix]
+                self._ctx.invalidate_table(existing)
 
     def _exclude(self, address: Address) -> None:
         """Remove a convicted process; refresh its prefix path."""

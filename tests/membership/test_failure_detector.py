@@ -102,3 +102,38 @@ class TestSuspicionQuorum:
     def test_invalid_quorum(self):
         with pytest.raises(MembershipError):
             SuspicionQuorum(quorum=0)
+
+
+class TestContactFloorFastPath:
+    """suspects() is O(1) via a min-contact lower bound; pin correctness."""
+
+    def test_suspect_found_after_quiet_stretch(self):
+        detector = FailureDetector(OWNER, timeout=3)
+        detector.watch(PEER, now=0)
+        detector.watch(OTHER, now=0)
+        for now in range(1, 10):
+            detector.record_contact(OTHER, now)
+        assert detector.suspects(3) == []
+        assert detector.suspects(4) == [PEER]
+
+    def test_unwatching_the_oldest_clears_suspicion(self):
+        detector = FailureDetector(OWNER, timeout=2)
+        detector.watch(PEER, now=0)
+        detector.watch(OTHER, now=0)
+        detector.record_contact(OTHER, now=8)
+        assert detector.suspects(9) == [PEER]
+        detector.unwatch(PEER)
+        # The stale floor must not resurrect the removed neighbor.
+        assert detector.suspects(9) == []
+
+    def test_late_watch_with_old_timestamp_is_detected(self):
+        detector = FailureDetector(OWNER, timeout=2)
+        detector.watch(PEER, now=10)
+        detector.record_contact(PEER, now=20)
+        assert detector.suspects(21) == []     # floor raised past 10
+        detector.watch(OTHER, now=1)           # back-dated watch
+        assert detector.suspects(21) == [OTHER]
+
+    def test_no_neighbors_no_suspects(self):
+        detector = FailureDetector(OWNER, timeout=1)
+        assert detector.suspects(100) == []

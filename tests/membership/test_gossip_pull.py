@@ -154,3 +154,45 @@ class TestConvergence:
         anti_entropy_until_quiescent(states, rng, fanout=1, quiet_rounds=30)
         neighbor = states[Address((0, 1))]
         assert neighbor.tables[2].digest() == victim.tables[2].digest()
+
+
+class TestStateMemoization:
+    def test_digest_and_peers_are_memoized(self):
+        tree = make_tree()
+        states = make_states(tree)
+        state = next(iter(states.values()))
+        assert state.digest() is state.digest()
+        assert state.peers() is state.peers()
+
+    def test_table_mutation_refreshes_memos(self):
+        tree = make_tree()
+        states = make_states(tree)
+        state = next(iter(states.values()))
+        before = state.digest()
+        version = state.version()
+        leaf = state.tables[max(state.tables)]
+        leaf.upsert(leaf.rows()[0].with_timestamp(42))
+        assert state.version() != version
+        after = state.digest()
+        assert after is not before
+        assert max(after.values()) == 42
+
+    def test_exchange_between_synced_replicas_is_zero(self):
+        tree = make_tree()
+        states = make_states(tree)
+        a, b = list(states.values())[:2]
+        assert exchange(a, b) == 0
+        assert a.digest() == b.digest()
+
+    def test_exchange_pulls_fresh_line_then_quiesces(self):
+        tree = make_tree()
+        states = make_states(tree)
+        a = states[Address((0, 0, 0))]
+        b = states[Address((0, 0, 1))]
+        leaf_depth = max(b.tables)
+        b.tables[leaf_depth].upsert(
+            b.tables[leaf_depth].rows()[0].with_timestamp(7)
+        )
+        assert exchange(a, b) == 1
+        assert a.tables[leaf_depth].digest() == b.tables[leaf_depth].digest()
+        assert exchange(a, b) == 0

@@ -138,3 +138,59 @@ class TestKnowledgeAccounting:
     def test_invalid_eq12_arguments(self):
         with pytest.raises(MembershipError):
             regular_view_sizes(0, 3, 3)
+
+
+class TestRefreshedRows:
+    """Incremental path refresh must equal a from-scratch rebuild."""
+
+    def assert_equivalent(self, tree, existing, address, timestamp):
+        from repro.membership import refreshed_rows
+
+        for prefix in address.prefixes():
+            if not tree.is_populated(prefix):
+                continue
+            changed = address.components[len(prefix.components)]
+            incremental = refreshed_rows(
+                tree, prefix, existing[prefix], changed, timestamp
+            )
+            scratch = build_view(tree, prefix, timestamp).rows()
+            assert incremental == scratch
+
+    def test_join_equals_rebuild_on_every_path_table(self):
+        tree = regular_tree(arity=3, depth=3)
+        existing = build_all_views(tree, timestamp=1)
+        newcomer = Address((1, 1, 9))
+        tree.add(newcomer, StaticInterest(False))
+        self.assert_equivalent(tree, existing, newcomer, timestamp=2)
+
+    def test_leave_equals_rebuild_on_every_path_table(self):
+        tree = regular_tree(arity=3, depth=3)
+        existing = build_all_views(tree, timestamp=1)
+        departed = Address((2, 0, 1))
+        tree.remove(departed)
+        self.assert_equivalent(tree, existing, departed, timestamp=2)
+
+    def test_delegate_departure_reelects_in_changed_row_only(self):
+        from repro.membership import refreshed_rows
+
+        tree = regular_tree(arity=3, depth=3)
+        root = Prefix(())
+        existing = build_view(tree, root, timestamp=1)
+        departed = Address((0, 0, 0))   # smallest address: delegate of 0
+        tree.remove(departed)
+        rows = refreshed_rows(tree, root, existing, 0, timestamp=2)
+        by_infix = {row.infix: row for row in rows}
+        assert departed not in by_infix[0].delegates
+        assert all(row.timestamp == 2 for row in rows)
+        # Untouched siblings kept their (still valid) delegates.
+        assert by_infix[1].delegates == existing.row(1).delegates
+
+    def test_unpopulated_prefix_rejected(self):
+        from repro.membership import refreshed_rows
+
+        tree = regular_tree(arity=2, depth=2)
+        existing = build_view(tree, Prefix((0,)), timestamp=0)
+        tree.remove(Address((0, 0)))
+        tree.remove(Address((0, 1)))
+        with pytest.raises(MembershipError):
+            refreshed_rows(tree, Prefix((0,)), existing, 0, timestamp=1)

@@ -136,3 +136,81 @@ class TestViewTable:
             ],
         )
         assert [r.infix for r in table.matching_rows(Event({"b": 5}))] == [0]
+
+
+class TestViewTableCaching:
+    def make_table(self):
+        return TestViewTable.make_table(self)
+
+    def test_addresses_sorted_within_each_row(self):
+        """Regression: the docstring promises (infix, address) order.
+
+        Delegates are stored in election order (smallest subtree
+        members first), which is *usually* sorted — but a row built
+        from anti-entropy updates or hand-assembled fixtures need not
+        be, and addresses() must sort per row regardless.
+        """
+        table = ViewTable(
+            Prefix((1,)),
+            3,
+            rows=[
+                row(1, [(1, 1, 9), (1, 1, 0)]),
+                row(0, [(1, 0, 5), (1, 0, 2)]),
+            ],
+        )
+        assert table.addresses() == [
+            Address((1, 0, 2)),
+            Address((1, 0, 5)),
+            Address((1, 1, 0)),
+            Address((1, 1, 9)),
+        ]
+
+    def test_flattened_forms_are_memoized(self):
+        table = self.make_table()
+        assert table.rows() is table.rows()
+        assert table.entries() is table.entries()
+        assert table.addresses() is table.addresses()
+        assert table.digest() is table.digest()
+
+    def test_mutations_invalidate_memos(self):
+        table = self.make_table()
+        before = table.addresses()
+        table.upsert(row(7, [(1, 7, 0)]))
+        after = table.addresses()
+        assert after is not before
+        assert Address((1, 7, 0)) in after
+        table.discard(7)
+        assert Address((1, 7, 0)) not in table.addresses()
+        assert table.entry_count == 6
+
+    def test_noop_discard_keeps_token(self):
+        table = self.make_table()
+        token = table.cache_token
+        table.discard(99)
+        assert table.cache_token == token
+
+    def test_cache_token_advances_and_is_never_shared(self):
+        table = self.make_table()
+        other = self.make_table()
+        assert table.cache_token != other.cache_token
+        seen = {table.cache_token}
+        table.upsert(row(5, [(1, 5, 0)]))
+        assert table.cache_token not in seen
+        seen.add(table.cache_token)
+        table.replace_rows([row(0, [(1, 0, 0)])])
+        assert table.cache_token not in seen
+
+    def test_replace_rows_keeps_identity_swaps_content(self):
+        table = self.make_table()
+        table_id = id(table)
+        table.replace_rows([row(4, [(1, 4, 0)], count=2)])
+        assert id(table) == table_id
+        assert table.row_count == 1
+        assert table.row(4).process_count == 2
+
+    def test_replace_rows_rejects_duplicate_infix(self):
+        table = self.make_table()
+        with pytest.raises(MembershipError):
+            table.replace_rows([row(1, [(1, 1, 0)]), row(1, [(1, 1, 1)])])
+        # The failed swap must not have corrupted the table.
+        assert table.row_count == 3

@@ -182,3 +182,108 @@ class TestPiggybackMembership:
     def test_piggyback_disabled_by_default(self):
         runtime, __ = make_runtime()
         assert not runtime._piggyback_membership
+
+
+class TestActiveSetScheduling:
+    def test_active_count_tracks_infection(self):
+        runtime, addresses = make_runtime()
+        assert runtime.active_count == 0
+        runtime.publish(addresses[0], Event({}, event_id=5))
+        assert runtime.active_count == 1
+        runtime.run(2)
+        assert runtime.active_count > 1
+        runtime.run_until_idle()
+        assert runtime.active_count == 0
+
+    def test_crash_and_leave_deactivate(self):
+        runtime, addresses = make_runtime()
+        runtime.publish(addresses[0], Event({}, event_id=6))
+        runtime.run(1)
+        infected = runtime.active_count
+        assert infected >= 1
+        runtime.crash(addresses[0])
+        assert runtime.active_count == infected - 1
+
+    def test_both_modes_identical_through_churn(self):
+        """The ablation switch changes cost, never results."""
+        outcomes = []
+        for active_scheduling in (True, False):
+            runtime, addresses = make_runtime(
+                timeout=5, active_scheduling=active_scheduling
+            )
+            event_a = Event({}, event_id=71)
+            runtime.publish(addresses[0], event_a)
+            runtime.run(2)
+            runtime.crash(addresses[4])
+            joiner = Address((2, 9))
+            runtime.join(joiner, StaticInterest(True))
+            event_b = Event({}, event_id=72)
+            runtime.publish(addresses[-1], event_b)
+            runtime.run(30)
+            runtime.leave(addresses[2])
+            idle = runtime.run_until_idle()
+            outcomes.append(
+                (
+                    runtime.delivered_to(event_a),
+                    runtime.delivered_to(event_b),
+                    runtime.exclusion_round(addresses[4]),
+                    runtime.round,
+                    idle,
+                    sum(
+                        runtime.node(a).messages_sent
+                        for a in runtime.tree.members()
+                    ),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_legacy_mode_flag(self):
+        runtime, addresses = make_runtime(active_scheduling=False)
+        runtime.publish(addresses[0], Event({}, event_id=8))
+        assert runtime.active_count == 1
+        assert runtime.run_until_idle() > 0
+        assert runtime.active_count == 0
+
+
+class TestCacheCorrectnessUnderChurn:
+    def test_join_leave_rejoin_serves_no_stale_matches(self):
+        """Recycled table state must not leak old match verdicts.
+
+        The same address joins, leaves and joins again with the
+        *opposite* interest.  Every refresh mutates path tables in
+        place (same object identity — the worst case for an
+        identity-keyed cache), so a stale cached match would misroute
+        or misdeliver the event published after each flip.
+        """
+        runtime, addresses = make_runtime(arity=3, depth=2)
+        churner = Address((2, 9))
+        publisher = addresses[0]
+
+        runtime.join(churner, StaticInterest(True))
+        event_1 = Event({}, event_id=301)
+        runtime.publish(publisher, event_1)
+        runtime.run_until_idle()
+        assert churner in runtime.delivered_to(event_1)
+
+        runtime.leave(churner)
+        runtime.join(churner, StaticInterest(False))
+        event_2 = Event({}, event_id=302)
+        runtime.publish(publisher, event_2)
+        runtime.run_until_idle()
+        assert churner not in runtime.delivered_to(event_2)
+
+        runtime.leave(churner)
+        runtime.join(churner, StaticInterest(True))
+        event_3 = Event({}, event_id=303)
+        runtime.publish(publisher, event_3)
+        runtime.run_until_idle()
+        assert churner in runtime.delivered_to(event_3)
+
+    def test_runtime_cache_stats_exposed(self):
+        runtime, addresses = make_runtime()
+        runtime.publish(addresses[0], Event({}, event_id=9))
+        runtime.run_until_idle()
+        stats = runtime._ctx.cache_stats
+        assert stats.table_hits + stats.table_misses > 0
+        assert 0.0 <= stats.table_hit_rate <= 1.0
+        assert runtime._ctx.keyed_cache
