@@ -143,7 +143,7 @@ def locality_experiment(
     )
     result = ExperimentResult(
         title=(
-            f"Messages by sender-destination distance "
+            "Messages by sender-destination distance "
             f"(a={arity}, d={depth}, p_d={matching_rate}, F={fanout}; "
             f"distance {depth} crosses the widest boundary):"
         ),
@@ -206,7 +206,7 @@ def baselines_experiment(
     result = ExperimentResult(
         title=(
             f"Baselines at p_d={matching_rate}, n={n}, F={fanout} "
-            f"(knowledge = membership entries per process):"
+            "(knowledge = membership entries per process):"
         ),
         columns=["protocol", "delivery", "false_reception", "messages",
                  "knowledge"],

@@ -28,9 +28,12 @@ the ablation/legacy code paths (full O(n) scans, identity-keyed match
 cache) when the installed code supports the switches, and verifies the
 two modes produce identical digests.
 
-The module deliberately touches new introspection APIs
-(``cache_stats``, ``active_count``) through ``getattr`` so that the
-identical harness runs against the pre-optimization code base.
+Introspection counters (``active_count``, the match-cache hit rates)
+are read from a :class:`~repro.obs.registry.MetricsRegistry` attached
+to each runtime via an :class:`~repro.obs.probes.Observer` — the
+harness never reaches into runtime internals.  ``--trace FILE``
+additionally captures a JSONL trace of a quick engine dissemination,
+suitable for ``python -m repro.obs validate`` / ``summarize``.
 """
 
 from __future__ import annotations
@@ -46,10 +49,11 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.addressing import AddressSpace
 from repro.config import PmcastConfig, SimConfig
 from repro.interests.events import Event
+from repro.obs import MetricsRegistry, Observer, TraceLog
 from repro.sim.rng import derive_rng
 from repro.sim.workload import bernoulli_interests, random_subscriptions
 
-__all__ = ["main", "run_suite"]
+__all__ = ["emit_trace", "main", "run_suite"]
 
 SCHEMA = "repro.bench.perf/v1"
 
@@ -74,26 +78,18 @@ def _runtime_kwargs(mode: str) -> Dict[str, Any]:
     return {}
 
 
-def _context_stats(obj: Any) -> Optional[Dict[str, Any]]:
-    """Cache counters from a GossipContext-bearing object, if exposed."""
-    stats = getattr(obj, "cache_stats", None)
-    if stats is None:
-        return None
-    if hasattr(stats, "as_dict"):
-        return stats.as_dict()
-    if isinstance(stats, dict):
-        return dict(stats)
-    return None
-
-
-def _try_build_runtime(members, config, sim_config, mode: str):
-    """Build a GroupRuntime, tolerating pre-optimization signatures."""
+def _try_build_runtime(members, config, sim_config, mode: str, registry):
+    """Build an observed GroupRuntime, tolerating ablation signatures."""
     from repro.sim.runtime import GroupRuntime
 
     kwargs = _runtime_kwargs(mode)
     try:
         return GroupRuntime(
-            members, config=config, sim_config=sim_config, **kwargs
+            members,
+            config=config,
+            sim_config=sim_config,
+            observer=Observer(registry=registry),
+            **kwargs,
         )
     except TypeError:
         if not kwargs:
@@ -111,8 +107,11 @@ def bench_round_loop(
         addresses, 0.25, derive_rng(seed, "perf-interests")
     )
     config = PmcastConfig(fanout=3, redundancy=3, min_rounds_per_depth=2)
+    registry = MetricsRegistry()
     started = time.perf_counter()
-    runtime = _try_build_runtime(members, config, SimConfig(seed=seed), mode)
+    runtime = _try_build_runtime(
+        members, config, SimConfig(seed=seed), mode, registry
+    )
     if runtime is None:
         return None
     build_seconds = time.perf_counter() - started
@@ -124,6 +123,7 @@ def bench_round_loop(
     rounds = runtime.run_until_idle(max_rounds=max_rounds)
     loop_seconds = time.perf_counter() - started
     delivered = runtime.delivered_to(event)
+    snapshot = registry.snapshot()
     return {
         "members": len(addresses),
         "build_seconds": round(build_seconds, 4),
@@ -134,8 +134,8 @@ def bench_round_loop(
         else None,
         "delivered": len(delivered),
         "digest": _sha1([str(a) for a in delivered] + [str(rounds)]),
-        "active_count_final": getattr(runtime, "active_count", None),
-        "cache_stats": _context_stats(getattr(runtime, "_ctx", None)),
+        "active_count_final": snapshot["runtime"]["active_count"],
+        "cache_stats": snapshot.get("match_cache"),
     }
 
 
@@ -204,7 +204,9 @@ def bench_churn_refresh(
         if address not in set(joiners)
     }
     config = PmcastConfig(fanout=3, redundancy=3)
-    runtime = _try_build_runtime(initial, config, SimConfig(seed=seed), mode)
+    runtime = _try_build_runtime(
+        initial, config, SimConfig(seed=seed), mode, MetricsRegistry()
+    )
     if runtime is None:
         return None
     started = time.perf_counter()
@@ -243,7 +245,10 @@ def bench_match_cache(
         if address not in set(churners)
     }
     config = PmcastConfig(fanout=3, redundancy=3)
-    runtime = _try_build_runtime(initial, config, SimConfig(seed=seed), mode)
+    registry = MetricsRegistry()
+    runtime = _try_build_runtime(
+        initial, config, SimConfig(seed=seed), mode, registry
+    )
     if runtime is None:
         return None
     started = time.perf_counter()
@@ -270,7 +275,7 @@ def bench_match_cache(
         "events": events,
         "seconds": round(seconds, 4),
         "digest": _sha1(digests),
-        "cache_stats": _context_stats(getattr(runtime, "_ctx", None)),
+        "cache_stats": registry.snapshot().get("match_cache"),
     }
 
 
@@ -332,6 +337,35 @@ def _identity_check(
         if left is not None and right is not None:
             out[name] = {"identical": left == right}
     return out
+
+
+def emit_trace(path: str, arity: int, depth: int, seed: int = 0) -> int:
+    """Write a JSONL trace of one quick engine dissemination.
+
+    The trace carries the engine's report-reproducing metadata, so
+    ``python -m repro.obs validate``/``summarize`` can check the bench
+    environment end to end.  Returns the number of records written.
+    """
+    from repro.sim.engine import run_dissemination
+    from repro.sim.group import PmcastGroup
+
+    space = AddressSpace.regular(arity, depth)
+    addresses = space.enumerate_regular(arity)
+    members = bernoulli_interests(
+        addresses, 0.25, derive_rng(seed, "perf-interests")
+    )
+    group = PmcastGroup.build(members, PmcastConfig(fanout=3, redundancy=3))
+    trace = TraceLog()
+    run_dissemination(
+        group,
+        addresses[0],
+        Event({"perf": 1}, event_id=7),
+        SimConfig(seed=seed),
+        trace=trace,
+    )
+    trace.annotate(producer="repro.bench.perf")
+    trace.to_jsonl(path)
+    return len(trace)
 
 
 def _merge_baseline(report: Dict[str, Any], baseline: Dict[str, Any]) -> None:
@@ -404,6 +438,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default="BENCH_PR1.json",
         help="output JSON path (default BENCH_PR1.json)",
     )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        help="also write a JSONL trace of a quick engine run "
+        "(validate with `python -m repro.obs validate FILE`)",
+    )
     return parser
 
 
@@ -435,6 +476,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if baseline is not None:
         _merge_baseline(report, baseline)
+    if args.trace:
+        records = emit_trace(
+            args.trace, scale["arity"], scale["depth"], seed=args.seed
+        )
+        print(f"wrote {records} trace records to {args.trace}")
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -36,6 +36,7 @@ from repro.core.rate import TableMatch, match_table
 from repro.interests.events import Event
 from repro.interests.subscriptions import Interest
 from repro.membership.views import ViewTable
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["CacheStats", "GossipContext"]
 
@@ -94,6 +95,12 @@ class GossipContext:
         keyed_cache: use the churn-surviving two-layer cache (default);
             ``False`` selects the legacy identity-keyed cache, whose
             only safe invalidation is :meth:`invalidate` (global).
+        registry: an optional :class:`~repro.obs.registry.
+            MetricsRegistry`; when given, the live :class:`CacheStats`
+            are published under the ``match_cache`` subsystem via a
+            snapshot collector — no per-hit double bookkeeping, and
+            harnesses read the counters from the registry instead of
+            scraping ``cache_stats`` off the context.
     """
 
     def __init__(
@@ -101,6 +108,7 @@ class GossipContext:
         rng: random.Random,
         threshold_h: int = 0,
         keyed_cache: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.rng = rng
         self._threshold_h = threshold_h
@@ -117,6 +125,10 @@ class GossipContext:
         # here because bounds share the table-state lifetime.
         self._bounds: Dict[Tuple[int, float, object], int] = {}
         self._stats = CacheStats()
+        if registry is not None:
+            registry.register_collector(
+                "match_cache", self._stats.as_dict
+            )
 
     @property
     def threshold_h(self) -> int:

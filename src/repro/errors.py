@@ -46,3 +46,7 @@ class SimulationError(ReproError):
 
 class AnalysisError(ReproError):
     """An analytical model was evaluated outside its domain."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was misused or a trace is malformed."""

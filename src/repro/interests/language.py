@@ -30,7 +30,6 @@ from repro.errors import ParseError
 from repro.interests.predicates import (
     Constraint,
     between,
-    eq,
     ge,
     gt,
     le,

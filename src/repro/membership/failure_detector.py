@@ -18,6 +18,7 @@ from typing import Dict, List, Set
 
 from repro.addressing import Address
 from repro.errors import MembershipError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["FailureDetector", "SuspicionQuorum"]
 
@@ -28,13 +29,23 @@ class FailureDetector:
     Args:
         owner: the monitoring process.
         timeout: rounds of silence after which a neighbor is suspected.
+        registry: optional metrics registry; the ``detector`` subsystem
+            counts suspicion reports across every detector sharing it.
     """
 
-    def __init__(self, owner: Address, timeout: int):
+    def __init__(
+        self,
+        owner: Address,
+        timeout: int,
+        registry: MetricsRegistry = NULL_REGISTRY,
+    ):
         if timeout < 1:
             raise MembershipError(f"timeout {timeout} must be >= 1")
         self._owner = owner
         self._timeout = timeout
+        self._suspicion_reports = registry.counter(
+            "detector", "suspicion_reports"
+        )
         self._last_contact: Dict[Address, int] = {}
         # A lower bound on min(last_contact values).  Contacts only
         # raise values and unwatch only removes them, so the bound stays
@@ -106,11 +117,13 @@ class FailureDetector:
         self._floor = min(self._last_contact.values())
         if now - self._floor <= self._timeout:
             return []
-        return sorted(
+        out = sorted(
             neighbor
             for neighbor, last in self._last_contact.items()
             if now - last > self._timeout
         )
+        self._suspicion_reports.inc(len(out))
+        return out
 
 
 class SuspicionQuorum:
@@ -122,11 +135,15 @@ class SuspicionQuorum:
     for resistance to false suspicion by a single slow link.
     """
 
-    def __init__(self, quorum: int):
+    def __init__(
+        self, quorum: int, registry: MetricsRegistry = NULL_REGISTRY
+    ):
         if quorum < 1:
             raise MembershipError(f"quorum {quorum} must be >= 1")
         self._quorum = quorum
         self._accusers: Dict[Address, Set[Address]] = {}
+        self._accusations = registry.counter("detector", "accusations")
+        self._convictions = registry.counter("detector", "convictions")
 
     @property
     def quorum(self) -> int:
@@ -136,8 +153,13 @@ class SuspicionQuorum:
     def accuse(self, suspect: Address, accuser: Address) -> bool:
         """Register a suspicion; True once the quorum is reached."""
         accusers = self._accusers.setdefault(suspect, set())
-        accusers.add(accuser)
-        return len(accusers) >= self._quorum
+        if accuser not in accusers:
+            accusers.add(accuser)
+            self._accusations.inc()
+        convicted = len(accusers) >= self._quorum
+        if convicted:
+            self._convictions.inc()
+        return convicted
 
     def retract(self, suspect: Address, accuser: Address) -> None:
         """Withdraw a suspicion (the suspect was heard from again)."""

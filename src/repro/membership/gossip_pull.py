@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.addressing import Address
 from repro.errors import MembershipError
 from repro.membership.views import ViewRow, ViewTable
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = [
     "MembershipState",
@@ -130,7 +131,11 @@ class MembershipState:
         return self._peers_memo
 
 
-def exchange(gossiper: MembershipState, receiver: MembershipState) -> int:
+def exchange(
+    gossiper: MembershipState,
+    receiver: MembershipState,
+    registry: MetricsRegistry = NULL_REGISTRY,
+) -> int:
     """One gossip-pull interaction: the *gossiper* gets updated.
 
     The gossiper sends its digest; the receiver replies with every line
@@ -138,12 +143,18 @@ def exchange(gossiper: MembershipState, receiver: MembershipState) -> int:
     Only lines for subgroups both processes maintain can flow (their
     common prefix path).
 
+    ``registry`` (``gossip_pull`` subsystem) counts every digest
+    exchange, the already-synced fast-path hits, and the view lines
+    actually updated.
+
     Returns the number of lines the gossiper updated.
     """
+    registry.counter("gossip_pull", "exchanges").inc()
     digest = gossiper.digest()
     # Already-synced pairs dominate a converged group's exchanges;
     # equal digests mean fresher_rows would return nothing.
     if digest == receiver.digest():
+        registry.counter("gossip_pull", "synced_exchanges").inc()
         return 0
     updates = receiver.fresher_rows(digest)
     # Restrict to tables the two processes share (same prefix at a depth);
@@ -154,7 +165,9 @@ def exchange(gossiper: MembershipState, receiver: MembershipState) -> int:
         if depth in gossiper.tables
         and gossiper.tables[depth].prefix == receiver.tables[depth].prefix
     ]
-    return gossiper.apply(shared)
+    changed = gossiper.apply(shared)
+    registry.counter("gossip_pull", "lines_updated").inc(changed)
+    return changed
 
 
 def anti_entropy_round(

@@ -1,0 +1,99 @@
+"""The :class:`Observer`: one handle bundling metrics and trace output.
+
+Components that want to be observable take a single ``observer``
+argument instead of separate registry/trace/sink plumbing:
+
+* :attr:`Observer.registry` hands out counters/gauges/histograms (the
+  shared :data:`~repro.obs.registry.NULL_REGISTRY` when metrics are
+  off);
+* :meth:`Observer.emit` appends one :class:`~repro.obs.trace.
+  TraceRecord` to the in-memory log and/or the streaming sink —
+  whichever is attached;
+* :attr:`Observer.tracing` is the cheap guard hot loops check before
+  assembling per-record arguments.
+
+The module-level :data:`NULL_OBSERVER` is fully disabled: its registry
+is the null registry and ``emit`` returns immediately.  Observation
+never draws randomness, so an observed run is bit-identical to an
+unobserved one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.addressing import Address
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.sink import JsonlSink
+from repro.obs.trace import TraceLog, TraceRecord
+
+__all__ = ["Observer", "NULL_OBSERVER"]
+
+
+class Observer:
+    """A metrics registry plus optional trace destinations.
+
+    Args:
+        registry: instrument store; ``None`` selects the shared null
+            registry (all instruments no-op).
+        trace: an in-memory :class:`TraceLog` receiving every record.
+        sink: a streaming :class:`JsonlSink` receiving every record.
+    """
+
+    __slots__ = ("registry", "trace", "sink")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceLog] = None,
+        sink: Optional[JsonlSink] = None,
+    ):
+        self.registry = NULL_REGISTRY if registry is None else registry
+        self.trace = trace
+        self.sink = sink
+
+    @property
+    def tracing(self) -> bool:
+        """True when at least one trace destination is attached."""
+        return self.trace is not None or self.sink is not None
+
+    @property
+    def enabled(self) -> bool:
+        """True when anything (metrics or tracing) is switched on."""
+        return self.registry.enabled or self.tracing
+
+    def emit(
+        self,
+        round: int,
+        kind: str,
+        process: Address,
+        peer: Optional[Address] = None,
+        event_id: int = 0,
+        depth: int = 0,
+        value: int = 0,
+    ) -> None:
+        """Record one protocol action on every attached destination."""
+        if self.trace is None and self.sink is None:
+            return
+        record = TraceRecord(
+            round, kind, process, peer, event_id, depth, value
+        )
+        if self.trace is not None:
+            self.trace.append(record)
+        if self.sink is not None:
+            self.sink.emit(record)
+
+    def annotate(self, **meta: object) -> None:
+        """Attach run metadata to every trace destination."""
+        if self.trace is not None:
+            self.trace.annotate(**meta)
+        if self.sink is not None:
+            self.sink.annotate(**meta)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The registry's rolled-up metrics."""
+        return self.registry.snapshot()
+
+
+#: The shared disabled observer: the default for every component.
+NULL_OBSERVER = Observer()

@@ -1,0 +1,308 @@
+"""The unified, versioned trace record schema.
+
+Debugging a probabilistic protocol needs more than end-of-run counters:
+*which* delegate forwarded the event at which depth, which membership
+round repaired which view, where a lost message cut a subtree off.  A
+:class:`TraceRecord` is one protocol action; a :class:`TraceLog` is an
+append-only, indexed log of them.
+
+One schema covers both planes of the system:
+
+* **dissemination** records (``publish | send | loss | receive |
+  deliver``) from :func:`repro.sim.engine.run_dissemination` and
+  :meth:`repro.sim.runtime.GroupRuntime.step`;
+* **membership** records (``join | leave | crash | suspect | exclude |
+  pull | refresh``) from the runtime's churn entry points, failure
+  detection and anti-entropy.
+
+Records serialize to single JSON objects (see :mod:`repro.obs.sink`),
+tagged :data:`TRACE_SCHEMA` so offline tooling can reject traces it
+does not understand.  The historical import path
+``repro.sim.trace`` re-exports this module unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.addressing import Address
+from repro.errors import SimulationError
+
+__all__ = ["KINDS", "TRACE_SCHEMA", "TraceRecord", "TraceLog"]
+
+#: The versioned record schema identifier stamped on every JSONL trace.
+TRACE_SCHEMA = "repro.obs.trace/v1"
+
+#: Every record kind, dissemination plane first, membership plane second.
+KINDS = (
+    "publish",
+    "send",
+    "loss",
+    "receive",
+    "deliver",
+    "join",
+    "leave",
+    "crash",
+    "suspect",
+    "exclude",
+    "pull",
+    "refresh",
+)
+
+_KIND_SET = frozenset(KINDS)
+
+#: Kinds whose ``peer`` is a destination (rendered ``->``).
+_PEER_OUT = frozenset(("send", "loss", "pull"))
+#: Kinds whose ``peer`` is a source or object (rendered ``<-``).
+_PEER_IN = frozenset(("receive", "suspect"))
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One protocol action.
+
+    Attributes:
+        round: the simulation round (0 = before the first round).
+        kind: one of :data:`KINDS`.
+        process: the acting process (sender for sends/losses, receiver
+            for receives/deliveries, publisher for publishes, the
+            gossiper for pulls, the accuser for suspicions, the
+            affected member for membership records).
+        peer: the other end (destination for sends/losses, sender for
+            receives, the pulled peer for pulls, the suspected process
+            for suspicions; None otherwise).
+        event_id: the event concerned (0 for membership records).
+        depth: the Figure 3 depth the gossip was tagged with (0 where
+            depth is not meaningful).
+        value: a kind-specific magnitude — view lines updated for
+            ``pull``, tables touched for ``refresh``, accusation count
+            for ``exclude``; 0 elsewhere.
+    """
+
+    round: int
+    kind: str
+    process: Address
+    peer: Optional[Address]
+    event_id: int
+    depth: int
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_SET:
+            raise SimulationError(f"unknown trace kind {self.kind!r}")
+        if self.round < 0:
+            raise SimulationError(f"negative round {self.round}")
+        if self.depth < 0:
+            raise SimulationError(f"negative depth {self.depth}")
+
+    def render(self) -> str:
+        """One human-readable line."""
+        peer = f" -> {self.peer}" if self.kind in _PEER_OUT else (
+            f" <- {self.peer}" if self.kind in _PEER_IN else ""
+        )
+        depth = f" @d{self.depth}" if self.depth else ""
+        event = f" (event {self.event_id})" if self.event_id else ""
+        value = f" [{self.value}]" if self.value else ""
+        return (
+            f"[{self.round:>4}] {self.kind:<7} {self.process}{peer}"
+            f"{depth}{event}{value}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dict (``value`` omitted when zero)."""
+        out: Dict[str, object] = {
+            "round": self.round,
+            "kind": self.kind,
+            "process": str(self.process),
+            "peer": None if self.peer is None else str(self.peer),
+            "event_id": self.event_id,
+            "depth": self.depth,
+        }
+        if self.value:
+            out["value"] = self.value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Raises:
+            SimulationError: if required fields are missing or invalid.
+        """
+        try:
+            peer = data.get("peer")
+            return cls(
+                round=int(data["round"]),  # type: ignore[arg-type]
+                kind=str(data["kind"]),
+                process=Address.parse(str(data["process"])),
+                peer=None if peer is None else Address.parse(str(peer)),
+                event_id=int(data.get("event_id", 0)),  # type: ignore[arg-type]
+                depth=int(data.get("depth", 0)),  # type: ignore[arg-type]
+                value=int(data.get("value", 0)),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed trace record {data!r}") from exc
+
+
+class TraceLog:
+    """An append-only, indexed log of :class:`TraceRecord` s.
+
+    Two indexes are maintained incrementally so post-run analysis of a
+    large trace never rescans the whole log: a per-kind record list
+    (serving :meth:`filter` by kind) and a ``(process, event_id) ->
+    round`` delivery index (serving :meth:`delivery_round`).
+
+    Args:
+        capacity: optional hard cap; appending past it raises, so a
+            runaway simulation cannot silently eat memory.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity {capacity} must be >= 1")
+        self._records: List[TraceRecord] = []
+        self._capacity = capacity
+        self._by_kind: Dict[str, List[TraceRecord]] = {}
+        self._delivered_at: Dict[Tuple[Address, int], int] = {}
+        #: Run-level metadata carried into the JSONL header (see
+        #: :meth:`annotate`): publisher, interest ground truth, final
+        #: round count — whatever the producer knows and analyzers need.
+        self.meta: Dict[str, object] = {}
+
+    def record(
+        self,
+        round: int,
+        kind: str,
+        process: Address,
+        peer: Optional[Address] = None,
+        event_id: int = 0,
+        depth: int = 0,
+        value: int = 0,
+    ) -> None:
+        """Validate and append one record.
+
+        The kind is checked *before* the record is allocated: a typo'd
+        probe fails fast without consuming capacity.
+        """
+        if kind not in _KIND_SET:
+            raise SimulationError(f"unknown trace kind {kind!r}")
+        self.append(
+            TraceRecord(round, kind, process, peer, event_id, depth, value)
+        )
+
+    def append(self, record: TraceRecord) -> None:
+        """Append an already-built record, maintaining the indexes."""
+        if self._capacity is not None and len(self._records) >= self._capacity:
+            raise SimulationError(
+                f"trace capacity {self._capacity} exhausted"
+            )
+        self._records.append(record)
+        per_kind = self._by_kind.get(record.kind)
+        if per_kind is None:
+            per_kind = self._by_kind[record.kind] = []
+        per_kind.append(record)
+        if record.kind == "deliver":
+            self._delivered_at.setdefault(
+                (record.process, record.event_id), record.round
+            )
+
+    def annotate(self, **meta: object) -> None:
+        """Merge run-level metadata into :attr:`meta`."""
+        self.meta.update(meta)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def counts(self) -> Dict[str, int]:
+        """Record count per kind (only kinds that occurred)."""
+        return {
+            kind: len(records)
+            for kind, records in sorted(self._by_kind.items())
+        }
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        process: Optional[Address] = None,
+        event_id: Optional[int] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Records matching every given criterion.
+
+        Filtering by ``kind`` starts from the per-kind index instead of
+        scanning the full log.
+        """
+        if kind is not None:
+            candidates = self._by_kind.get(kind, [])
+        else:
+            candidates = self._records
+        out = []
+        for record in candidates:
+            if process is not None and record.process != process:
+                continue
+            if event_id is not None and record.event_id != event_id:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def sends(self) -> List[TraceRecord]:
+        """All send records."""
+        return list(self._by_kind.get("send", ()))
+
+    def losses(self) -> List[TraceRecord]:
+        """All loss records."""
+        return list(self._by_kind.get("loss", ()))
+
+    def receives(self) -> List[TraceRecord]:
+        """All receive records."""
+        return list(self._by_kind.get("receive", ()))
+
+    def deliveries(self) -> List[TraceRecord]:
+        """All delivery records."""
+        return list(self._by_kind.get("deliver", ()))
+
+    def delivery_round(self, process: Address, event_id: int) -> Optional[int]:
+        """The round ``process`` delivered ``event_id``, or None.
+
+        Served by the incrementally maintained delivery index — O(1)
+        regardless of trace length.
+        """
+        return self._delivered_at.get((process, event_id))
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """The timeline as text, optionally truncated to ``limit`` lines."""
+        records = self._records if limit is None else self._records[:limit]
+        lines = [record.render() for record in records]
+        if limit is not None and len(self._records) > limit:
+            lines.append(f"... {len(self._records) - limit} more records")
+        return "\n".join(lines)
+
+    def to_jsonl(self, path: str) -> int:
+        """Write the whole log as a JSONL trace file; returns records written.
+
+        The first line is a header object carrying :data:`TRACE_SCHEMA`
+        and :attr:`meta`; every further line is one record.  Use
+        :func:`repro.obs.sink.read_trace` (or :meth:`from_jsonl`) to
+        load it back.
+        """
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {"schema": TRACE_SCHEMA, "meta": self.meta}
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for record in self._records:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(self._records)
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "TraceLog":
+        """Load a JSONL trace written by :meth:`to_jsonl` or a sink."""
+        from repro.obs.sink import read_trace
+
+        return read_trace(path)

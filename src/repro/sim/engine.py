@@ -55,8 +55,12 @@ def run_dissemination(
         network: an externally configured network (e.g. with partition
             rules); by default a fresh :class:`LossyNetwork` with
             ``sim_config.loss_probability``.
-        trace: optional :class:`~repro.sim.trace.TraceLog` receiving one
-            record per publish/send/loss/receive/delivery.
+        trace: optional :class:`~repro.obs.trace.TraceLog` receiving one
+            record per publish/send/loss/receive/delivery/crash, plus
+            run metadata (publisher, interest ground truth, final round
+            count) in :attr:`~repro.obs.trace.TraceLog.meta` — enough
+            for ``python -m repro.obs summarize`` to reproduce this
+            function's report offline.
 
     Returns:
         the :class:`~repro.sim.metrics.DisseminationReport` of the run.
@@ -88,6 +92,18 @@ def run_dissemination(
 
     origin.pmcast(event, ctx)
     if trace is not None:
+        trace.annotate(
+            producer="repro.sim.engine",
+            publisher=str(publisher),
+            event_id=event.event_id,
+            group_size=group.size,
+            interested=sorted(str(address) for address in interested),
+            interested_count=len(interested),
+            uninterested_count=group.size
+            - len(interested)
+            - (0 if publisher in interested else 1),
+            seed=sim_config.seed,
+        )
         trace.record(0, "publish", publisher, event_id=event.event_id)
         if origin.has_delivered(event):
             trace.record(0, "deliver", publisher, event_id=event.event_id)
@@ -108,6 +124,8 @@ def run_dissemination(
             node = group.node(victim)
             node.alive = False
             active.pop(victim, None)
+            if trace is not None:
+                trace.record(round_index + 1, "crash", victim)
         if not active:
             break
         rounds = round_index + 1
@@ -144,7 +162,10 @@ def run_dissemination(
                 and not receiver.has_delivered(envelope.message.event)
             )
             receiver.receive(envelope.message, ctx)
-            if trace is not None:
+            # A crashed process performs no protocol action, so it gets
+            # no receive record — the sender-side send record already
+            # documents the dead-letter envelope.
+            if trace is not None and receiver.alive:
                 trace.record(
                     rounds,
                     "receive",
@@ -169,6 +190,8 @@ def run_dissemination(
 
         infection_curve.append(len(infected))
 
+    if trace is not None:
+        trace.annotate(rounds=rounds)
     delivered_interested = sum(
         1 for address in interested if group.node(address).has_delivered(event)
     )

@@ -148,7 +148,9 @@ def summarize_reports(
     """Aggregate repeated trials into per-metric summaries.
 
     Returns summaries for ``delivery_ratio``, ``false_reception_ratio``,
-    ``rounds``, ``messages_sent`` and ``network_overhead``.
+    ``rounds``, ``messages_sent``, ``network_overhead``,
+    ``boundary_crossing_fraction`` (the §3.1 topology claim),
+    ``duplicate_receptions`` and ``messages_lost``.
     """
     if not reports:
         raise SimulationError("cannot summarize zero reports")
@@ -160,4 +162,11 @@ def summarize_reports(
         "rounds": _summary([float(r.rounds) for r in reports]),
         "messages_sent": _summary([float(r.messages_sent) for r in reports]),
         "network_overhead": _summary([r.network_overhead for r in reports]),
+        "boundary_crossing_fraction": _summary(
+            [r.boundary_crossing_fraction for r in reports]
+        ),
+        "duplicate_receptions": _summary(
+            [float(r.duplicate_receptions) for r in reports]
+        ),
+        "messages_lost": _summary([float(r.messages_lost) for r in reports]),
     }

@@ -52,6 +52,7 @@ from repro.membership.gossip_pull import MembershipState, exchange
 from repro.membership.knowledge import build_view, refreshed_rows
 from repro.membership.tree import MembershipTree
 from repro.membership.views import ViewTable
+from repro.obs.probes import NULL_OBSERVER, Observer
 from repro.sim.network import LossyNetwork
 from repro.sim.rng import derive_rng
 
@@ -79,6 +80,15 @@ class GroupRuntime:
             (the default); ``False`` restores the full O(n) scan for
             ablation measurements.  The two modes produce identical
             results.
+        observer: an optional :class:`~repro.obs.probes.Observer`.
+            Its registry receives per-subsystem counters (``runtime``,
+            ``membership``, ``views``, ``detector``, ``gossip_pull``,
+            ``match_cache``); when a trace destination is attached,
+            every protocol action — event gossip, membership pulls,
+            join/leave/crash, suspicions, exclusions, view refreshes —
+            is emitted as a :class:`~repro.obs.trace.TraceRecord`.
+            Observation never draws randomness: an observed run is
+            bit-identical to an unobserved one.
     """
 
     def __init__(
@@ -90,6 +100,7 @@ class GroupRuntime:
         exclusion_quorum: Optional[int] = None,
         piggyback_membership: bool = False,
         active_scheduling: bool = True,
+        observer: Optional[Observer] = None,
     ):
         if not members:
             raise SimulationError("cannot start an empty runtime")
@@ -109,6 +120,7 @@ class GroupRuntime:
         self._quorums: Dict[Address, SuspicionQuorum] = {}
         self._excluded_at: Dict[Address, int] = {}
         self._crashed: Set[Address] = set()
+        self._crashed_at: Dict[Address, int] = {}
         # Active-set scheduling: the addresses whose nodes buffer at
         # least one event.  Walked in wiring order (the _nodes insertion
         # order a full scan would use) so the shared gossip RNG is
@@ -126,9 +138,36 @@ class GroupRuntime:
         self._far_cache: Dict[
             Address, Tuple[Tuple[int, Tuple[int, ...]], List[Address]]
         ] = {}
+        self._obs = observer if observer is not None else NULL_OBSERVER
+        self._reg = self._obs.registry
+        self._m_rounds = self._reg.counter("runtime", "rounds")
+        self._m_sent = self._reg.counter("runtime", "envelopes_sent")
+        self._m_lost = self._reg.counter("runtime", "envelopes_lost")
+        self._m_receptions = self._reg.counter("runtime", "receptions")
+        self._m_deliveries = self._reg.counter("runtime", "deliveries")
+        self._m_publishes = self._reg.counter("runtime", "publishes")
+        self._m_joins = self._reg.counter("membership", "joins")
+        self._m_leaves = self._reg.counter("membership", "leaves")
+        self._m_crashes = self._reg.counter("membership", "crashes")
+        self._m_exclusions = self._reg.counter("membership", "exclusions")
+        self._m_pulls = self._reg.counter("membership", "pulls")
+        self._m_refreshes = self._reg.counter("views", "path_refreshes")
+        self._m_tables = self._reg.counter("views", "tables_refreshed")
+        self._h_exclusion = self._reg.histogram(
+            "detector", "exclusion_latency_rounds"
+        )
+        self._reg.register_collector(
+            "runtime",
+            lambda: {
+                "active_count": len(self._active),
+                "round": self._round,
+                "size": self._tree.size,
+            },
+        )
         self._ctx = GossipContext(
             derive_rng(self._sim_config.seed, "runtime-gossip"),
             threshold_h=self._config.threshold_h,
+            registry=self._reg,
         )
         self._network = LossyNetwork(
             self._sim_config.loss_probability,
@@ -168,6 +207,15 @@ class GroupRuntime:
         """
         return len(self._active)
 
+    @property
+    def observer(self) -> Observer:
+        """The attached observer (the shared null observer by default)."""
+        return self._obs
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The registry's rolled-up per-subsystem counters."""
+        return self._reg.snapshot()
+
     def node(self, address: Address) -> PmcastNode:
         """The protocol node of a (possibly crashed) process."""
         try:
@@ -199,14 +247,27 @@ class GroupRuntime:
         node.pmcast(event, self._ctx)
         if not node.is_idle:
             self._active.add(publisher)
+        self._m_publishes.inc()
+        if self._obs.tracing:
+            self._obs.emit(
+                self._round, "publish", publisher, event_id=event.event_id
+            )
+            if node.has_delivered(event):
+                self._obs.emit(
+                    self._round, "deliver", publisher,
+                    event_id=event.event_id,
+                )
 
     def crash(self, address: Address) -> None:
         """Silently crash a process (it stays in views until excluded)."""
         node = self.node(address)
         node.alive = False
         self._crashed.add(address)
+        self._crashed_at[address] = self._round
         self._active.discard(address)
         self._membership_changed()
+        self._m_crashes.inc()
+        self._obs.emit(self._round, "crash", address)
 
     def join(self, address: Address, interest: Interest) -> None:
         """Add a process to the running group (§2.3 join, converged).
@@ -222,6 +283,8 @@ class GroupRuntime:
         if address in self._tree:
             raise SimulationError(f"{address} is already a member")
         self._tree.add(address, interest)
+        self._m_joins.inc()
+        self._obs.emit(self._round, "join", address)
         self._refresh_path(address)
         self._wire(address)
         self._watch_neighbors(address)
@@ -233,7 +296,10 @@ class GroupRuntime:
         if address not in self._tree:
             raise SimulationError(f"{address} is not a member")
         self._tree.remove(address)
+        self._m_leaves.inc()
+        self._obs.emit(self._round, "leave", address)
         self._crashed.discard(address)
+        self._crashed_at.pop(address, None)
         self._nodes.pop(address, None)
         self._replicas.pop(address, None)
         self._detectors.pop(address, None)
@@ -249,6 +315,7 @@ class GroupRuntime:
     def step(self) -> None:
         """Execute one round: event gossip, membership gossip, detection."""
         self._round += 1
+        self._m_rounds.inc()
         envelopes: List[Envelope] = []
         if self._active_scheduling:
             for address in sorted(
@@ -266,11 +333,49 @@ class GroupRuntime:
                     envelopes.extend(node.gossip_step(self._ctx))
                     if node.is_idle:
                         self._active.discard(address)
-        for envelope in self._network.transmit(envelopes):
+        survivors = self._network.transmit(envelopes)
+        self._m_sent.inc(len(envelopes))
+        self._m_lost.inc(len(envelopes) - len(survivors))
+        if self._obs.tracing and envelopes:
+            arrived = {id(envelope) for envelope in survivors}
+            for envelope in envelopes:
+                self._obs.emit(
+                    self._round,
+                    "send" if id(envelope) in arrived else "loss",
+                    envelope.message.sender,
+                    peer=envelope.destination,
+                    event_id=envelope.message.event.event_id,
+                    depth=envelope.message.depth,
+                )
+        for envelope in survivors:
             receiver = self._nodes.get(envelope.destination)
             if receiver is None or not receiver.alive:
                 continue
+            freshly_delivered = (
+                self._obs.enabled
+                and not receiver.has_delivered(envelope.message.event)
+            )
             receiver.receive(envelope.message, self._ctx)
+            self._m_receptions.inc()
+            if self._obs.tracing:
+                self._obs.emit(
+                    self._round,
+                    "receive",
+                    envelope.destination,
+                    peer=envelope.message.sender,
+                    event_id=envelope.message.event.event_id,
+                    depth=envelope.message.depth,
+                )
+            if freshly_delivered and receiver.has_delivered(
+                envelope.message.event
+            ):
+                self._m_deliveries.inc()
+                self._obs.emit(
+                    self._round,
+                    "deliver",
+                    envelope.destination,
+                    event_id=envelope.message.event.event_id,
+                )
             if not receiver.is_idle:
                 self._active.add(envelope.destination)
             self._record_contact(
@@ -280,7 +385,7 @@ class GroupRuntime:
                 sender_replica = self._replicas.get(envelope.message.sender)
                 receiver_replica = self._replicas.get(envelope.destination)
                 if sender_replica is not None and receiver_replica is not None:
-                    exchange(receiver_replica, sender_replica)
+                    exchange(receiver_replica, sender_replica, self._reg)
         self._membership_round()
         self._detection_round()
 
@@ -339,7 +444,7 @@ class GroupRuntime:
             )
         if address not in self._detectors:
             self._detectors[address] = FailureDetector(
-                address, self._detector_timeout
+                address, self._detector_timeout, registry=self._reg
             )
 
     def _watch_neighbors(self, address: Address) -> None:
@@ -422,7 +527,13 @@ class GroupRuntime:
             if far:
                 candidates.append(self._membership_rng.choice(far))
             for peer in candidates:
-                exchange(replica, self._replicas[peer])
+                updated = exchange(replica, self._replicas[peer], self._reg)
+                self._m_pulls.inc()
+                if self._obs.tracing:
+                    self._obs.emit(
+                        self._round, "pull", address, peer=peer,
+                        value=updated,
+                    )
                 # A pull is bidirectional contact: the peer answered.
                 self._record_contact(address, peer)
                 self._record_contact(peer, address)
@@ -451,9 +562,15 @@ class GroupRuntime:
                     required = self._exclusion_quorum or max(
                         len(self._live_neighbors(suspect)), 1
                     )
-                    quorum = SuspicionQuorum(required)
+                    quorum = SuspicionQuorum(required, registry=self._reg)
                     self._quorums[suspect] = quorum
-                if quorum.accuse(suspect, address):
+                convicted = quorum.accuse(suspect, address)
+                if self._obs.tracing:
+                    self._obs.emit(
+                        self._round, "suspect", address, peer=suspect,
+                        value=quorum.accusation_count(suspect),
+                    )
+                if convicted:
                     self._exclude(suspect)
                     break
 
@@ -477,9 +594,11 @@ class GroupRuntime:
             self._ctx.invalidate()
         self._clock += 1
         self._membership_changed()
+        touched = 0
         components = address.components
         for prefix in address.prefixes():
             existing = self._tables.get(prefix)
+            touched += 1
             if self._tree.is_populated(prefix):
                 changed_child = components[len(prefix.components)]
                 if existing is None:
@@ -502,6 +621,12 @@ class GroupRuntime:
             elif existing is not None:
                 del self._tables[prefix]
                 self._ctx.invalidate_table(existing)
+        self._m_refreshes.inc()
+        self._m_tables.inc(touched)
+        if self._obs.tracing:
+            self._obs.emit(
+                self._round, "refresh", address, value=touched
+            )
 
     def _exclude(self, address: Address) -> None:
         """Remove a convicted process; refresh its prefix path."""
@@ -510,6 +635,12 @@ class GroupRuntime:
         self._tree.remove(address)
         self._excluded_at[address] = self._round
         self._quorums.pop(address, None)
+        self._m_exclusions.inc()
+        crashed_at = self._crashed_at.get(address)
+        if crashed_at is not None:
+            self._h_exclusion.observe(self._round - crashed_at)
+        if self._obs.tracing:
+            self._obs.emit(self._round, "exclude", address)
         self._refresh_path(address)
         for detector in self._detectors.values():
             detector.unwatch(address)

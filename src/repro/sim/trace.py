@@ -1,160 +1,11 @@
-"""Structured dissemination traces.
+"""Structured dissemination traces (moved to :mod:`repro.obs.trace`).
 
-Debugging a probabilistic protocol needs more than end-of-run counters:
-*which* delegate forwarded the event at which depth, and where a lost
-message cut a subtree off.  A :class:`TraceLog` captures one record per
-protocol action — publish, send, loss, receive, delivery — with the
-round, the processes involved and the Figure 3 depth, and renders them
-as a readable timeline.
-
-Pass a ``TraceLog`` to :func:`repro.sim.engine.run_dissemination`; the
-engine stays zero-overhead when no log is attached.
+The trace substrate grew from engine-only instrumentation into the
+unified observability schema shared by the engine, the live runtime
+and the membership layer; it now lives in :mod:`repro.obs.trace`.
+This module remains as the historical import path.
 """
 
-from __future__ import annotations
+from repro.obs.trace import KINDS, TRACE_SCHEMA, TraceLog, TraceRecord
 
-from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
-
-from repro.addressing import Address
-from repro.errors import SimulationError
-
-__all__ = ["TraceRecord", "TraceLog"]
-
-KINDS = ("publish", "send", "loss", "receive", "deliver")
-
-
-@dataclass(frozen=True)
-class TraceRecord:
-    """One protocol action.
-
-    Attributes:
-        round: the simulation round (0 = the publish itself).
-        kind: one of ``publish | send | loss | receive | deliver``.
-        process: the acting process (sender for sends/losses, receiver
-            for receives/deliveries, publisher for publishes).
-        peer: the other end (destination for sends/losses, sender for
-            receives; None otherwise).
-        event_id: the event concerned.
-        depth: the Figure 3 depth the gossip was tagged with (0 for
-            publish/deliver records, where depth is not meaningful).
-    """
-
-    round: int
-    kind: str
-    process: Address
-    peer: Optional[Address]
-    event_id: int
-    depth: int
-
-    def __post_init__(self) -> None:
-        if self.kind not in KINDS:
-            raise SimulationError(f"unknown trace kind {self.kind!r}")
-        if self.round < 0:
-            raise SimulationError(f"negative round {self.round}")
-
-    def render(self) -> str:
-        """One human-readable line."""
-        peer = f" -> {self.peer}" if self.kind in ("send", "loss") else (
-            f" <- {self.peer}" if self.kind == "receive" else ""
-        )
-        depth = f" @d{self.depth}" if self.depth else ""
-        return (
-            f"[{self.round:>4}] {self.kind:<7} {self.process}{peer}"
-            f"{depth} (event {self.event_id})"
-        )
-
-
-class TraceLog:
-    """An append-only log of :class:`TraceRecord` s.
-
-    Args:
-        capacity: optional hard cap; appending past it raises, so a
-            runaway simulation cannot silently eat memory.
-    """
-
-    def __init__(self, capacity: Optional[int] = None):
-        if capacity is not None and capacity < 1:
-            raise SimulationError(f"capacity {capacity} must be >= 1")
-        self._records: List[TraceRecord] = []
-        self._capacity = capacity
-
-    def record(
-        self,
-        round: int,
-        kind: str,
-        process: Address,
-        peer: Optional[Address] = None,
-        event_id: int = 0,
-        depth: int = 0,
-    ) -> None:
-        """Append one record."""
-        if self._capacity is not None and len(self._records) >= self._capacity:
-            raise SimulationError(
-                f"trace capacity {self._capacity} exhausted"
-            )
-        self._records.append(
-            TraceRecord(round, kind, process, peer, event_id, depth)
-        )
-
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
-
-    def filter(
-        self,
-        kind: Optional[str] = None,
-        process: Optional[Address] = None,
-        event_id: Optional[int] = None,
-        predicate: Optional[Callable[[TraceRecord], bool]] = None,
-    ) -> List[TraceRecord]:
-        """Records matching every given criterion."""
-        out = []
-        for record in self._records:
-            if kind is not None and record.kind != kind:
-                continue
-            if process is not None and record.process != process:
-                continue
-            if event_id is not None and record.event_id != event_id:
-                continue
-            if predicate is not None and not predicate(record):
-                continue
-            out.append(record)
-        return out
-
-    def sends(self) -> List[TraceRecord]:
-        """All send records."""
-        return self.filter(kind="send")
-
-    def losses(self) -> List[TraceRecord]:
-        """All loss records."""
-        return self.filter(kind="loss")
-
-    def receives(self) -> List[TraceRecord]:
-        """All receive records."""
-        return self.filter(kind="receive")
-
-    def deliveries(self) -> List[TraceRecord]:
-        """All delivery records."""
-        return self.filter(kind="deliver")
-
-    def delivery_round(self, process: Address, event_id: int) -> Optional[int]:
-        """The round ``process`` delivered ``event_id``, or None."""
-        for record in self._records:
-            if (
-                record.kind == "deliver"
-                and record.process == process
-                and record.event_id == event_id
-            ):
-                return record.round
-        return None
-
-    def render(self, limit: Optional[int] = None) -> str:
-        """The timeline as text, optionally truncated to ``limit`` lines."""
-        records = self._records if limit is None else self._records[:limit]
-        lines = [record.render() for record in records]
-        if limit is not None and len(self._records) > limit:
-            lines.append(f"... {len(self._records) - limit} more records")
-        return "\n".join(lines)
+__all__ = ["KINDS", "TRACE_SCHEMA", "TraceRecord", "TraceLog"]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.addressing import Address, AddressSpace, Prefix
+from repro.addressing import AddressSpace, Prefix
 from repro.addressing.allocation import AddressAllocator
 from repro.errors import AddressError
 from repro.interests import StaticInterest

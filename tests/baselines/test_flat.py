@@ -5,7 +5,7 @@ import pytest
 from repro.addressing import AddressSpace
 from repro.config import SimConfig
 from repro.errors import SimulationError
-from repro.interests import Event, StaticInterest
+from repro.interests import Event
 from repro.baselines import flat_genuine_multicast, flat_gossip_broadcast
 from repro.sim import CrashSchedule, bernoulli_interests, derive_rng
 

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.addressing import Address, AddressSpace, Prefix
+from repro.addressing import Address, AddressSpace
 from repro.config import PmcastConfig
 from repro.core import GossipContext, PmcastNode
 from repro.core.messages import GossipMessage

@@ -36,8 +36,10 @@ class TestInflateAudience:
 
 class TestChooseThreshold:
     def test_finds_smallest_sufficient_h(self):
-        # Reliability improves with h: 0.5, 0.6, ..., capped at 1.0.
-        reliability = lambda h: min(0.5 + 0.1 * h, 1.0)
+        def reliability(h):
+            # Reliability improves with h: 0.5, 0.6, ..., capped at 1.0.
+            return min(0.5 + 0.1 * h, 1.0)
+
         assert choose_threshold(reliability, target=0.75, max_threshold=10) == 3
 
     def test_zero_if_already_reliable(self):

@@ -1,6 +1,5 @@
 """Degenerate group shapes: the protocol must not fall over at the edges."""
 
-import pytest
 
 from repro.addressing import Address, AddressSpace
 from repro.config import PmcastConfig, SimConfig

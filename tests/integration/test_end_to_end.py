@@ -2,15 +2,10 @@
 
 import random
 
-import pytest
 
-from repro.addressing import Address, AddressSpace, Prefix
+from repro.addressing import Address, AddressSpace
 from repro.config import PmcastConfig, SimConfig
-from repro.interests import (
-    Event,
-    Subscription,
-    parse_subscription,
-)
+from repro.interests import Event, parse_subscription
 from repro.membership import GroupDirectory, MembershipTree, join, leave
 from repro.sim import (
     PmcastGroup,

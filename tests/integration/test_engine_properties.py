@@ -14,7 +14,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.addressing import AddressSpace
 from repro.config import PmcastConfig, SimConfig
-from repro.interests import Event, StaticInterest
+from repro.interests import Event
 from repro.sim import (
     PmcastGroup,
     TraceLog,
@@ -109,8 +109,22 @@ class TestEngineInvariants:
     @settings(max_examples=40, deadline=None)
     def test_trace_conservation(self, params):
         group, report, trace, event, publisher = run_scenario(params)
-        # Every receive pairs with a send; sends+losses = envelopes.
-        assert len(trace.receives()) == len(trace.sends())
+        # Every receive pairs with a send that survived the network,
+        # except dead letters: a crashed receiver performs no protocol
+        # action, so envelopes arriving from its crash round onward get
+        # no receive record.
+        crashed_at = {
+            record.process: record.round
+            for record in trace.filter(kind="crash")
+        }
+        dead_letters = sum(
+            1
+            for record in trace.sends()
+            if crashed_at.get(record.peer, record.round + 1) <= record.round
+        )
+        assert len(trace.receives()) == len(trace.sends()) - dead_letters
+        if not crashed_at:
+            assert len(trace.receives()) == len(trace.sends())
         assert (
             len(trace.sends()) + len(trace.losses()) == report.messages_sent
         )

@@ -1,8 +1,7 @@
 """Failure-injection scenarios beyond the i.i.d. model of §4.1."""
 
-import pytest
 
-from repro.addressing import Address, AddressSpace
+from repro.addressing import AddressSpace
 from repro.config import PmcastConfig, SimConfig
 from repro.interests import Event, StaticInterest
 from repro.sim import (

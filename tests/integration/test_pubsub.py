@@ -114,7 +114,6 @@ class TestChurnDuringOperation:
 class TestAutoJoin:
     def make_system(self):
         from repro.addressing import AddressSpace
-        from repro.interests import StaticInterest
 
         space = AddressSpace.regular(4, 3)
         return PubSubSystem(

@@ -8,7 +8,7 @@ transfers), this would diverge from the in-memory run.
 
 import json
 
-from repro.addressing import Address, AddressSpace
+from repro.addressing import AddressSpace
 from repro.config import PmcastConfig
 from repro.core import GossipContext
 from repro.core.codec import (

@@ -11,7 +11,6 @@ from repro.interests import StaticInterest
 from repro.membership import (
     MembershipState,
     MembershipTree,
-    anti_entropy_round,
     build_process_views,
     exchange,
 )

@@ -9,7 +9,6 @@ from repro.interests import (
     StaticInterest,
     Subscription,
     gt,
-    parse_subscription,
 )
 from repro.membership import (
     MembershipTree,

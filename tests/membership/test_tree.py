@@ -1,6 +1,5 @@
 """Tests for MembershipTree: delegate election and subgroup structure."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

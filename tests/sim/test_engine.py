@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.addressing import Address, AddressSpace
+from repro.addressing import AddressSpace
 from repro.config import PmcastConfig, SimConfig
 from repro.errors import SimulationError
-from repro.interests import Event, StaticInterest
+from repro.interests import Event
 from repro.sim import (
     CrashSchedule,
     LossyNetwork,

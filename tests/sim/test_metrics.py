@@ -68,7 +68,33 @@ class TestSummaries:
             "rounds",
             "messages_sent",
             "network_overhead",
+            "boundary_crossing_fraction",
+            "duplicate_receptions",
+            "messages_lost",
         }
+
+    def test_accounting_metrics_aggregate(self):
+        reports = [
+            report(
+                messages_lost=10,
+                duplicate_receptions=100,
+                messages_by_distance=(90, 10),
+            ),
+            report(
+                messages_lost=30,
+                duplicate_receptions=300,
+                messages_by_distance=(50, 50),
+            ),
+        ]
+        summaries = summarize_reports(reports)
+        assert summaries["messages_lost"].mean == pytest.approx(20.0)
+        assert summaries["duplicate_receptions"].mean == pytest.approx(200.0)
+        assert summaries["boundary_crossing_fraction"].mean == pytest.approx(
+            (0.1 + 0.5) / 2
+        )
+        assert summaries["boundary_crossing_fraction"].maximum == pytest.approx(
+            0.5
+        )
 
     def test_empty_rejected(self):
         with pytest.raises(SimulationError):

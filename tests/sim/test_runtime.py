@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.addressing import Address, AddressSpace, Prefix
+from repro.addressing import Address, AddressSpace
 from repro.config import PmcastConfig, SimConfig
 from repro.errors import SimulationError
 from repro.interests import Event, StaticInterest, parse_subscription
@@ -152,7 +152,6 @@ class TestContentBasedRuntime:
 class TestPiggybackMembership:
     def test_piggyback_converges_faster_along_event_paths(self):
         """§2.3: membership info piggybacked on event gossip spreads it."""
-        from repro.membership.views import ViewRow
 
         def staleness(runtime, addresses):
             """Total timestamp lag of all replicas vs the freshest line."""

@@ -32,6 +32,39 @@ class TestTraceLog:
         log = TraceLog()
         with pytest.raises(SimulationError):
             log.record(0, "teleport", Address((0,)))
+        # Rejected before allocation: nothing was appended or indexed.
+        assert len(log) == 0
+        assert log.counts() == {}
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceRecord(-1, "send", Address((0,)), Address((1,)), 1, 0)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceRecord(0, "send", Address((0,)), Address((1,)), 1, -2)
+
+    def test_value_round_trips_through_dict(self):
+        original = TraceRecord(
+            3, "pull", Address((0, 1)), Address((1, 0)), 0, 0, value=4
+        )
+        data = original.to_dict()
+        assert data["value"] == 4
+        assert TraceRecord.from_dict(data) == original
+        # Zero values are omitted from the dict but restored on load.
+        quiet = TraceRecord(3, "pull", Address((0, 1)), Address((1, 0)), 0, 0)
+        assert "value" not in quiet.to_dict()
+        assert TraceRecord.from_dict(quiet.to_dict()).value == 0
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceRecord.from_dict({"kind": "send"})
+
+    def test_annotate_merges_meta(self):
+        log = TraceLog()
+        log.annotate(seed=7)
+        log.annotate(rounds=12, seed=8)
+        assert log.meta == {"seed": 8, "rounds": 12}
 
     def test_capacity_enforced(self):
         log = TraceLog(capacity=2)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.addressing import AddressSpace
 from repro.errors import SimulationError
-from repro.interests import Event, StaticInterest, Subscription
+from repro.interests import Subscription
 from repro.sim import (
     bernoulli_interests,
     clustered_interests,
