@@ -14,7 +14,12 @@ implements the full system of Eugster & Guerraoui's paper:
   bounds and the §5.3 small-rate tuning;
 * :mod:`repro.sim` — the round-synchronous evaluation substrate (loss,
   crashes, workloads, metrics);
+* :mod:`repro.faults` — scripted fault injection (bursts, partitions,
+  delays, targeted crashes) replayed deterministically from a
+  dedicated RNG stream;
 * :mod:`repro.analysis` — the §4 stochastic models;
+* :mod:`repro.validate` — the conformance harness comparing simulated
+  outcomes against the §4 models (``python -m repro.validate``);
 * :mod:`repro.baselines` — the §1 alternatives (flood broadcast,
   genuine multicast, per-subset broadcast groups);
 * :mod:`repro.bench` — regeneration of every evaluation figure.
@@ -50,6 +55,7 @@ from repro.interests import (
     parse_subscription,
     regroup,
 )
+from repro.faults import FaultInjector, FaultPlan
 from repro.membership import GroupDirectory, MembershipTree, join, leave
 from repro.pubsub import PubSubSystem
 from repro.sim import (
@@ -84,6 +90,8 @@ __all__ = [
     "leave",
     "PubSubSystem",
     "CrashSchedule",
+    "FaultPlan",
+    "FaultInjector",
     "DisseminationReport",
     "LossyNetwork",
     "PmcastGroup",

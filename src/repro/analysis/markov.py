@@ -22,7 +22,9 @@ of one process (the publisher).  All heavy lifting is vectorized numpy.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
 import numpy as np
 from scipy.special import gammaln
 
@@ -40,7 +42,8 @@ __all__ = [
 def _effective_size(n: float) -> int:
     if n < 0:
         raise AnalysisError(f"group size {n} must be >= 0")
-    return max(int(round(n)), 1)
+    # Half-up as documented: round() would be banker's (2.5 -> 2).
+    return max(int(math.floor(n + 0.5)), 1)
 
 
 def reach_probability(
@@ -89,7 +92,10 @@ def transition_matrix(
     q = 1.0 - p
     matrix = np.zeros((size + 1, size + 1))
     matrix[0, 0] = 1.0
-    if p == 0.0:
+    if q >= 1.0:
+        # p == 0, or p so small (ε or τ within one ulp of 1) that
+        # 1 - p rounds back to 1: either way log1p(-q^j) would hit
+        # log(0) below, and the chain cannot advance — identity.
         np.fill_diagonal(matrix, 1.0)
         return matrix
     js = np.arange(1, size + 1)

@@ -26,6 +26,7 @@ harnesses and the tests can interrogate any step.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -43,6 +44,15 @@ __all__ = [
     "analyze_tree",
     "entity_count_distribution",
 ]
+
+
+def _round_half_up(value: float) -> int:
+    """Round half-up, matching the Markov chain's _effective_size.
+
+    ``round()`` is banker's rounding (2.5 -> 2); the docs promise
+    half-up, and both models must agree on fractional entity counts.
+    """
+    return int(math.floor(value + 0.5))
 
 
 def subgroup_interest_probability(
@@ -258,12 +268,14 @@ def entity_count_distribution(
         p_i = analysis.interest_probabilities[current - 1]
         r_i = analysis.node_infection_probabilities[current - 1]
         max_parents = len(distribution) - 1
-        max_children = max(int(round(max_parents * analysis.arity * p_i)), 1)
+        max_children = max(
+            _round_half_up(max_parents * analysis.arity * p_i), 1
+        )
         fresh = np.zeros(max_children + 1)
         for j, weight in enumerate(distribution):
             if weight <= 0.0:
                 continue
-            susceptible = int(round(j * analysis.arity * p_i))
+            susceptible = _round_half_up(j * analysis.arity * p_i)
             if susceptible <= 0:
                 fresh[0] += weight
                 continue

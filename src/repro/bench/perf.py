@@ -78,11 +78,15 @@ def _runtime_kwargs(mode: str) -> Dict[str, Any]:
     return {}
 
 
-def _try_build_runtime(members, config, sim_config, mode: str, registry):
+def _try_build_runtime(
+    members, config, sim_config, mode: str, registry, fault_plan=None
+):
     """Build an observed GroupRuntime, tolerating ablation signatures."""
     from repro.sim.runtime import GroupRuntime
 
     kwargs = _runtime_kwargs(mode)
+    if fault_plan is not None:
+        kwargs["fault_plan"] = fault_plan
     try:
         return GroupRuntime(
             members,
@@ -136,6 +140,69 @@ def bench_round_loop(
         "digest": _sha1([str(a) for a in delivered] + [str(rounds)]),
         "active_count_final": snapshot["runtime"]["active_count"],
         "cache_stats": snapshot.get("match_cache"),
+    }
+
+
+def bench_faulted_round_loop(
+    arity: int, depth: int, seed: int, mode: str, max_rounds: int = 96
+) -> Optional[Dict[str, Any]]:
+    """The ``round_loop`` workload under a standard fault episode.
+
+    Measures the per-envelope cost of the :mod:`repro.faults` plane:
+    the same group, workload, and seed as ``round_loop``, plus a
+    FaultPlan exercising every clause family (a subtree partition, a
+    scoped loss burst, a delay window, a delegate crash).  Compare the
+    ``seconds`` against the unfaulted benchmark's to bound the
+    overhead; the ``digest`` folds in the injector counters so replay
+    regressions are visible too.
+    """
+    from repro.faults import FaultPlan
+
+    space = AddressSpace.regular(arity, depth)
+    addresses = space.enumerate_regular(arity)
+    members = bernoulli_interests(
+        addresses, 0.25, derive_rng(seed, "perf-interests")
+    )
+    config = PmcastConfig(fanout=3, redundancy=3, min_rounds_per_depth=2)
+    plan = (
+        FaultPlan(name="perf-episode")
+        .with_partition(2, 6, "0", "1")
+        .with_loss_burst(1, 5, 0.2, dest_prefix="2")
+        .with_delay(3, 5, 2, dest_prefix="3")
+        .with_delegate_crash(4, "2", count=1)
+    )
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    runtime = _try_build_runtime(
+        members, config, SimConfig(seed=seed), mode, registry,
+        fault_plan=plan,
+    )
+    if runtime is None:
+        return None
+    build_seconds = time.perf_counter() - started
+
+    event = Event({"perf": 1}, event_id=1)
+    runtime.publish(addresses[0], event)
+    started = time.perf_counter()
+    rounds = runtime.run_until_idle(max_rounds=max_rounds)
+    loop_seconds = time.perf_counter() - started
+    delivered = runtime.delivered_to(event)
+    stats = runtime.fault_stats or {}
+    return {
+        "members": len(addresses),
+        "build_seconds": round(build_seconds, 4),
+        "seconds": round(loop_seconds, 4),
+        "rounds": rounds,
+        "rounds_per_second": round(rounds / loop_seconds, 2)
+        if loop_seconds
+        else None,
+        "delivered": len(delivered),
+        "fault_stats": stats,
+        "digest": _sha1(
+            [str(a) for a in delivered]
+            + [str(rounds)]
+            + [f"{k}={stats[k]}" for k in sorted(stats)]
+        ),
     }
 
 
@@ -281,10 +348,16 @@ def bench_match_cache(
 
 _BENCHES = {
     "round_loop": bench_round_loop,
+    "faulted_round_loop": bench_faulted_round_loop,
     "engine": bench_engine,
     "churn_refresh": bench_churn_refresh,
     "match_cache": bench_match_cache,
 }
+
+#: Benchmarks excluded from the default selection (opt in via --bench
+#: or the --faults shorthand): the faulted loop exists to be compared
+#: against round_loop, not to gate every run.
+_OPT_IN = ("faulted_round_loop",)
 
 
 def run_suite(
@@ -295,7 +368,11 @@ def run_suite(
     benches: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
     """Run the selected benchmarks and return the report structure."""
-    selected = list(benches) if benches else list(_BENCHES)
+    selected = (
+        list(benches)
+        if benches
+        else [name for name in _BENCHES if name not in _OPT_IN]
+    )
     results: Dict[str, Any] = {}
     for mode in modes:
         mode_results: Dict[str, Any] = {}
@@ -427,6 +504,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="benchmark to run (repeatable; default: all)",
     )
     parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="also run the faulted_round_loop scenario (round loop "
+        "under a standard FaultPlan, for fault-plane overhead)",
+    )
+    parser.add_argument(
         "--baseline",
         type=str,
         default=None,
@@ -467,12 +550,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except (OSError, ValueError) as exc:
             print(f"error: cannot read baseline {args.baseline}: {exc}")
             return 2
+    benches = args.bench
+    if args.faults:
+        benches = list(
+            benches
+            if benches
+            else (n for n in _BENCHES if n not in _OPT_IN)
+        )
+        if "faulted_round_loop" not in benches:
+            benches.append("faulted_round_loop")
     report = run_suite(
         scale["arity"],
         scale["depth"],
         seed=args.seed,
         modes=modes,
-        benches=args.bench,
+        benches=benches,
     )
     if baseline is not None:
         _merge_baseline(report, baseline)

@@ -50,3 +50,11 @@ class AnalysisError(ReproError):
 
 class ObservabilityError(ReproError):
     """The observability layer was misused or a trace is malformed."""
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed or cannot be applied to the group."""
+
+
+class ValidationError(ReproError):
+    """The conformance harness was misconfigured or a report is malformed."""

@@ -1,0 +1,368 @@
+"""The fault-injection plane: replaying a :class:`FaultPlan` in a run.
+
+The injector sits between the protocol and the network: the engine (or
+:class:`~repro.sim.runtime.GroupRuntime`) hands each round's envelopes
+to :meth:`FaultInjector.transmit` instead of calling
+``network.transmit`` directly.  The injector applies its active clauses
+*before* the network's i.i.d. loss draw — an envelope swallowed by a
+partition never touches the ε stream — so the benign model underneath
+is exactly the one the analysis assumes for the traffic that remains.
+
+Determinism contract:
+
+* the injector owns a **dedicated RNG stream** (callers derive it with
+  a ``"faults"`` label); the gossip, network and crash streams are
+  never touched;
+* randomness is consumed **only while a probabilistic clause is
+  actually active and in scope** — an empty plan, or one whose windows
+  never open, leaves every stream untouched, so such a run is
+  bit-identical to one with no injector at all;
+* crash-clause resolution (delegate/depth targeting) uses sorted
+  member order, never randomness.
+
+Every injected fault is emitted as a ``repro.obs.trace/v1`` record
+(kinds ``fault_loss | fault_delay | fault_release | fault_partition |
+fault_heal | fault_crash``) through the ``emit`` callable — pass
+:meth:`TraceLog.record <repro.obs.trace.TraceLog.record>` or
+:meth:`Observer.emit <repro.obs.probes.Observer.emit>`; they share the
+same signature.  ``clock_offset`` aligns record rounds with the
+producer's convention (the engine and runtime both stamp round
+``round_index + 1`` for actions inside 0-based round ``round_index``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.addressing import Address, Prefix
+from repro.core.messages import Envelope
+from repro.faults.plan import (
+    DelayWindow,
+    DelegateCrash,
+    DepthCrash,
+    FaultPlan,
+    LossBurst,
+    Partition,
+    TargetedCrash,
+)
+from repro.membership.tree import MembershipTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a sim cycle)
+    from repro.sim.network import LossyNetwork
+
+__all__ = [
+    "FaultInjector",
+    "FAULT_LOSS_BURST",
+    "FAULT_LOSS_PARTITION",
+]
+
+#: ``value`` codes distinguishing the two ``fault_loss`` causes.
+FAULT_LOSS_BURST = 1
+FAULT_LOSS_PARTITION = 2
+
+Emit = Callable[..., None]
+
+
+def _marker(side: "Prefix") -> Address:
+    """A representative address for a partition side in trace records.
+
+    Trace records carry addresses, not prefixes; the subtree's prefix
+    components double as a (possibly virtual) address that renders as
+    the prefix string.  The root prefix renders as component 0.
+    """
+    return Address(side.components or (0,))
+
+
+class FaultInjector:
+    """Replays one :class:`FaultPlan` against one run.
+
+    An injector is single-use: it carries per-run state (pending
+    delayed envelopes, partition activation edges, counters) and must
+    not be shared between runs.
+
+    Args:
+        plan: the fault script.
+        tree: the membership ground truth used to resolve delegate- and
+            depth-targeted crash clauses at crash time.
+        rng: the dedicated fault stream (derive with a ``"faults"``
+            label; never pass the gossip or network stream).
+        emit: optional trace callback with the
+            :meth:`TraceLog.record <repro.obs.trace.TraceLog.record>`
+            signature; every injected fault produces one record.
+        clock_offset: added to the 0-based round index when emitting
+            (both the engine and the runtime stamp records at
+            ``round_index + 1``).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        tree: MembershipTree,
+        rng: random.Random,
+        emit: Optional[Emit] = None,
+        clock_offset: int = 1,
+    ):
+        self._plan = plan
+        self._tree = tree
+        self._rng = rng
+        self._emit = emit
+        self._clock_offset = clock_offset
+        self._bursts: List[LossBurst] = []
+        self._partitions: List[Partition] = []
+        self._delays: List[DelayWindow] = []
+        self._crash_clauses: List = []
+        for clause in plan:
+            if isinstance(clause, LossBurst):
+                self._bursts.append(clause)
+            elif isinstance(clause, Partition):
+                self._partitions.append(clause)
+            elif isinstance(clause, DelayWindow):
+                self._delays.append(clause)
+            else:
+                self._crash_clauses.append(clause)
+        self._partition_up = [False] * len(self._partitions)
+        self._pending: Dict[int, List[Envelope]] = {}
+        self._diverted: frozenset = frozenset()
+        self._injected_losses = 0
+        self._partition_drops = 0
+        self._delayed = 0
+        self._released = 0
+        self._crashes = 0
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The script being replayed."""
+        return self._plan
+
+    @property
+    def has_pending(self) -> bool:
+        """True while delayed envelopes await release.
+
+        Drivers must keep running rounds while this holds, even when
+        every node is idle — a delayed envelope can re-activate the
+        group.
+        """
+        return bool(self._pending)
+
+    @property
+    def last_diverted(self) -> frozenset:
+        """``id()`` s of the envelopes the latest :meth:`transmit` call
+        swallowed (fault losses) or held back (delays).
+
+        Each such envelope already produced its own ``fault_*`` trace
+        record; drivers consult this set to skip the ordinary
+        ``send``/``loss`` record for it, keeping every envelope at
+        exactly one disposition record per round.
+        """
+        return self._diverted
+
+    def stats(self) -> Dict[str, int]:
+        """Injection counters (also a registry collector payload)."""
+        return {
+            "injected_losses": self._injected_losses,
+            "partition_drops": self._partition_drops,
+            "delayed": self._delayed,
+            "released": self._released,
+            "targeted_crashes": self._crashes,
+            "pending": sum(len(batch) for batch in self._pending.values()),
+        }
+
+    # -- the per-round hooks ----------------------------------------------
+
+    def begin_round(self, round_index: int) -> None:
+        """Advance partition clauses; emit activation/heal edges.
+
+        Call once per round, before gossip.  Partition membership
+        checks themselves are stateless; this hook only tracks the
+        window edges so traces show when a cut opened and healed.
+        """
+        for index, clause in enumerate(self._partitions):
+            active = clause.start <= round_index < clause.end
+            was = self._partition_up[index]
+            if active and not was:
+                self._note(
+                    round_index, "fault_partition",
+                    _marker(clause.side_a), peer=_marker(clause.side_b),
+                )
+            elif was and not active:
+                self._note(
+                    round_index, "fault_heal",
+                    _marker(clause.side_a), peer=_marker(clause.side_b),
+                )
+            self._partition_up[index] = active
+
+    def crashes_at(self, round_index: int) -> List[Address]:
+        """Resolve this round's crash clauses to live victims, sorted.
+
+        Delegate- and depth-targeted clauses are resolved against the
+        tree *now*, so the victims are whoever currently holds the
+        targeted role.  Each victim is emitted as a ``fault_crash``
+        record; the caller is responsible for actually crashing them
+        (and for skipping already-dead processes).
+        """
+        victims: List[Address] = []
+        seen = set()
+        for clause in self._crash_clauses:
+            if clause.round != round_index:
+                continue
+            for victim in self._resolve(clause):
+                if victim not in seen and victim in self._tree:
+                    seen.add(victim)
+                    victims.append(victim)
+        victims.sort()
+        for victim in victims:
+            self._crashes += 1
+            self._note(round_index, "fault_crash", victim)
+        return victims
+
+    def transmit(
+        self,
+        round_index: int,
+        envelopes: List[Envelope],
+        network: "LossyNetwork",
+    ) -> List[Envelope]:
+        """Apply active fault clauses, then the network; return arrivals.
+
+        Order per envelope: partition cut (deterministic) → burst loss
+        (one draw against the combined active-burst probability) →
+        delay hold (first matching window wins; one draw only when its
+        probability is < 1).  Envelopes released from earlier delay
+        windows are appended after the network's arrivals — they were
+        already "in flight" and bypass both the fault plane and the ε
+        stream at release time.
+        """
+        released = self._pending.pop(round_index, [])
+        diverted = set()
+        passed: List[Envelope] = []
+        for envelope in envelopes:
+            sender = envelope.message.sender
+            destination = envelope.destination
+            if self._partition_cuts(round_index, sender, destination):
+                self._partition_drops += 1
+                self._injected_losses += 1
+                diverted.add(id(envelope))
+                self._note_envelope(
+                    round_index, "fault_loss", envelope,
+                    value=FAULT_LOSS_PARTITION,
+                )
+                continue
+            burst = self._burst_probability(round_index, sender, destination)
+            if burst > 0.0 and (
+                burst >= 1.0 or self._rng.random() < burst
+            ):
+                self._injected_losses += 1
+                diverted.add(id(envelope))
+                self._note_envelope(
+                    round_index, "fault_loss", envelope,
+                    value=FAULT_LOSS_BURST,
+                )
+                continue
+            delay = self._delay_for(round_index, destination)
+            if delay:
+                self._delayed += 1
+                diverted.add(id(envelope))
+                self._pending.setdefault(
+                    round_index + delay, []
+                ).append(envelope)
+                self._note_envelope(
+                    round_index, "fault_delay", envelope, value=delay
+                )
+                continue
+            passed.append(envelope)
+        self._diverted = frozenset(diverted)
+        delivered = network.transmit(passed)
+        if released:
+            self._released += len(released)
+            for envelope in released:
+                self._note_envelope(
+                    round_index, "fault_release", envelope
+                )
+            delivered = list(delivered) + released
+        return delivered
+
+    # -- internals --------------------------------------------------------
+
+    def _partition_cuts(
+        self, round_index: int, sender: Address, destination: Address
+    ) -> bool:
+        for clause in self._partitions:
+            if clause.start <= round_index < clause.end and clause.crosses(
+                sender, destination
+            ):
+                return True
+        return False
+
+    def _burst_probability(
+        self, round_index: int, sender: Address, destination: Address
+    ) -> float:
+        """Combined drop probability of all in-scope active bursts."""
+        survive = 1.0
+        for clause in self._bursts:
+            if clause.start <= round_index < clause.end and clause.matches(
+                sender, destination
+            ):
+                survive *= 1.0 - clause.probability
+        return 1.0 - survive
+
+    def _delay_for(self, round_index: int, destination: Address) -> int:
+        """The hold duration for an envelope, 0 when undisturbed."""
+        for clause in self._delays:
+            if clause.start <= round_index < clause.end and clause.matches(
+                destination
+            ):
+                if clause.probability >= 1.0 or (
+                    self._rng.random() < clause.probability
+                ):
+                    return clause.delay
+        return 0
+
+    def _resolve(self, clause) -> List[Address]:
+        if isinstance(clause, TargetedCrash):
+            return [clause.address]
+        if isinstance(clause, DelegateCrash):
+            if not self._tree.is_populated(clause.prefix):
+                return []
+            chosen = self._tree.delegates(clause.prefix)
+            return list(chosen[: clause.count])
+        if isinstance(clause, DepthCrash):
+            victims = []
+            for member in sorted(self._tree.members()):
+                if clause.depth <= self._tree.depth and self._tree.is_delegate(
+                    member, clause.depth
+                ):
+                    victims.append(member)
+                    if len(victims) >= clause.count:
+                        break
+            return victims
+        return []
+
+    def _note(
+        self,
+        round_index: int,
+        kind: str,
+        process: Address,
+        peer: Optional[Address] = None,
+        value: int = 0,
+    ) -> None:
+        if self._emit is not None:
+            self._emit(
+                round_index + self._clock_offset, kind, process,
+                peer=peer, value=value,
+            )
+
+    def _note_envelope(
+        self, round_index: int, kind: str, envelope: Envelope, value: int = 0
+    ) -> None:
+        if self._emit is not None:
+            self._emit(
+                round_index + self._clock_offset,
+                kind,
+                envelope.message.sender,
+                peer=envelope.destination,
+                event_id=envelope.message.event.event_id,
+                depth=envelope.message.depth,
+                value=value,
+            )

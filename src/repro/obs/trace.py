@@ -13,7 +13,11 @@ One schema covers both planes of the system:
   :meth:`repro.sim.runtime.GroupRuntime.step`;
 * **membership** records (``join | leave | crash | suspect | exclude |
   pull | refresh``) from the runtime's churn entry points, failure
-  detection and anti-entropy.
+  detection and anti-entropy;
+* **fault-injection** records (``fault_loss | fault_delay |
+  fault_release | fault_partition | fault_heal | fault_crash``) from
+  :class:`repro.faults.injector.FaultInjector`, so a degraded run's
+  trace explains *which* scripted fault did the damage.
 
 Records serialize to single JSON objects (see :mod:`repro.obs.sink`),
 tagged :data:`TRACE_SCHEMA` so offline tooling can reject traces it
@@ -35,7 +39,7 @@ __all__ = ["KINDS", "TRACE_SCHEMA", "TraceRecord", "TraceLog"]
 #: The versioned record schema identifier stamped on every JSONL trace.
 TRACE_SCHEMA = "repro.obs.trace/v1"
 
-#: Every record kind, dissemination plane first, membership plane second.
+#: Every record kind: dissemination plane, membership plane, fault plane.
 KINDS = (
     "publish",
     "send",
@@ -49,12 +53,29 @@ KINDS = (
     "exclude",
     "pull",
     "refresh",
+    "fault_loss",
+    "fault_delay",
+    "fault_release",
+    "fault_partition",
+    "fault_heal",
+    "fault_crash",
 )
 
 _KIND_SET = frozenset(KINDS)
 
 #: Kinds whose ``peer`` is a destination (rendered ``->``).
-_PEER_OUT = frozenset(("send", "loss", "pull"))
+_PEER_OUT = frozenset(
+    (
+        "send",
+        "loss",
+        "pull",
+        "fault_loss",
+        "fault_delay",
+        "fault_release",
+        "fault_partition",
+        "fault_heal",
+    )
+)
 #: Kinds whose ``peer`` is a source or object (rendered ``<-``).
 _PEER_IN = frozenset(("receive", "suspect"))
 
@@ -78,7 +99,9 @@ class TraceRecord:
             depth is not meaningful).
         value: a kind-specific magnitude — view lines updated for
             ``pull``, tables touched for ``refresh``, accusation count
-            for ``exclude``; 0 elsewhere.
+            for ``exclude``, cause code for ``fault_loss`` (1 = burst,
+            2 = partition), hold duration in rounds for
+            ``fault_delay``; 0 elsewhere.
     """
 
     round: int

@@ -81,6 +81,19 @@ class CrashSchedule:
                     rounds[address] = rng.randrange(horizon)
         return cls(rounds)
 
+    def merge(self, other: "CrashSchedule") -> "CrashSchedule":
+        """Combine two schedules; on conflict the *earlier* round wins.
+
+        Useful for composing a sampled τ schedule with the static
+        crash clauses of a fault plan.
+        """
+        rounds = dict(self._crash_rounds)
+        for address, crash_round in other._crash_rounds.items():
+            existing = rounds.get(address)
+            if existing is None or crash_round < existing:
+                rounds[address] = crash_round
+        return CrashSchedule(rounds)
+
     @property
     def victim_count(self) -> int:
         """f — how many processes crash during the run."""

@@ -22,6 +22,8 @@ from repro.core.context import GossipContext
 from repro.core.messages import Envelope
 from repro.core.node import PmcastNode
 from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.interests.events import Event
 from repro.sim.crashes import CrashSchedule
 from repro.sim.group import PmcastGroup
@@ -41,6 +43,7 @@ def run_dissemination(
     crash_schedule: Optional[CrashSchedule] = None,
     network: Optional[LossyNetwork] = None,
     trace: Optional[TraceLog] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> DisseminationReport:
     """Multicast one event through the group and measure the outcome.
 
@@ -61,6 +64,12 @@ def run_dissemination(
             count) in :attr:`~repro.obs.trace.TraceLog.meta` — enough
             for ``python -m repro.obs summarize`` to reproduce this
             function's report offline.
+        faults: optional :class:`~repro.faults.plan.FaultPlan` replayed
+            by a :class:`~repro.faults.injector.FaultInjector` over its
+            own RNG stream (label ``"faults"``), so a faulted run with
+            the same seed leaves the gossip/network/crash draws — and
+            therefore every unfaulted result — untouched.  Injected
+            faults appear in ``trace`` as ``fault_*`` records.
 
     Returns:
         the :class:`~repro.sim.metrics.DisseminationReport` of the run.
@@ -78,6 +87,16 @@ def run_dissemination(
             sim_config.crash_fraction,
             horizon=sim_config.max_rounds,
             rng=derive_rng(sim_config.seed, "crash", event.event_id),
+        )
+
+    injector: Optional[FaultInjector] = None
+    if faults is not None:
+        injector = FaultInjector(
+            faults,
+            group.tree,
+            derive_rng(sim_config.seed, "faults", event.event_id),
+            emit=trace.record if trace is not None else None,
+            clock_offset=1,
         )
 
     ctx = GossipContext(gossip_rng, threshold_h=group.config.threshold_h)
@@ -104,6 +123,8 @@ def run_dissemination(
             - (0 if publisher in interested else 1),
             seed=sim_config.seed,
         )
+        if faults is not None:
+            trace.annotate(fault_plan=faults.to_dict())
         trace.record(0, "publish", publisher, event_id=event.event_id)
         if origin.has_delivered(event):
             trace.record(0, "deliver", publisher, event_id=event.event_id)
@@ -120,13 +141,24 @@ def run_dissemination(
     messages_by_distance = [0] * tree_depth
     rounds = 0
     for round_index in range(sim_config.max_rounds):
-        for victim in crash_schedule.crashes_at(round_index):
+        victims = crash_schedule.crashes_at(round_index)
+        if injector is not None:
+            injector.begin_round(round_index)
+            scheduled = set(victims)
+            victims = victims + [
+                victim
+                for victim in injector.crashes_at(round_index)
+                if victim not in scheduled
+            ]
+        for victim in victims:
             node = group.node(victim)
+            if not node.alive:
+                continue
             node.alive = False
             active.pop(victim, None)
             if trace is not None:
                 trace.record(round_index + 1, "crash", victim)
-        if not active:
+        if not active and (injector is None or not injector.has_pending):
             break
         rounds = round_index + 1
 
@@ -142,10 +174,23 @@ def run_dissemination(
             hops = distance(envelope.message.sender, envelope.destination)
             messages_by_distance[max(hops, 1) - 1] += 1
 
-        delivered_envelopes = network.transmit(envelopes)
+        if injector is None:
+            delivered_envelopes = network.transmit(envelopes)
+        else:
+            delivered_envelopes = injector.transmit(
+                round_index, envelopes, network
+            )
         if trace is not None:
             arrived = {id(envelope) for envelope in delivered_envelopes}
+            diverted = (
+                injector.last_diverted if injector is not None
+                else frozenset()
+            )
             for envelope in envelopes:
+                # Fault-diverted envelopes carry their own fault_*
+                # record; one disposition record per envelope per round.
+                if id(envelope) in diverted:
+                    continue
                 kind = "send" if id(envelope) in arrived else "loss"
                 trace.record(
                     rounds,
@@ -192,6 +237,8 @@ def run_dissemination(
 
     if trace is not None:
         trace.annotate(rounds=rounds)
+        if injector is not None:
+            trace.annotate(fault_stats=injector.stats())
     delivered_interested = sum(
         1 for address in interested if group.node(address).has_delivered(event)
     )
@@ -218,7 +265,8 @@ def run_dissemination(
         delivered_interested=delivered_interested,
         received_uninterested=received_uninterested,
         received_total=received_total,
-        crashed=crash_schedule.victim_count,
+        crashed=crash_schedule.victim_count
+        + (0 if injector is None else injector.stats()["targeted_crashes"]),
         rounds=rounds,
         messages_sent=messages_sent,
         messages_lost=network.messages_lost,

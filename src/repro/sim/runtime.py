@@ -45,6 +45,8 @@ from repro.core.context import GossipContext
 from repro.core.messages import Envelope
 from repro.core.node import PmcastNode
 from repro.errors import MembershipError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.interests.events import Event
 from repro.interests.subscriptions import Interest
 from repro.membership.failure_detector import FailureDetector, SuspicionQuorum
@@ -89,6 +91,14 @@ class GroupRuntime:
             is emitted as a :class:`~repro.obs.trace.TraceRecord`.
             Observation never draws randomness: an observed run is
             bit-identical to an unobserved one.
+        fault_plan: an optional :class:`~repro.faults.plan.FaultPlan`
+            replayed across the runtime's rounds by a
+            :class:`~repro.faults.injector.FaultInjector` over a
+            dedicated RNG stream (label ``"runtime-faults"``).
+            Targeted/delegate/depth crash clauses go through
+            :meth:`crash`, so detection and exclusion react exactly as
+            they would to any other silent crash.  A run with an empty
+            plan is bit-identical to a run with none.
     """
 
     def __init__(
@@ -101,6 +111,7 @@ class GroupRuntime:
         piggyback_membership: bool = False,
         active_scheduling: bool = True,
         observer: Optional[Observer] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if not members:
             raise SimulationError("cannot start an empty runtime")
@@ -176,6 +187,16 @@ class GroupRuntime:
         self._membership_rng = derive_rng(
             self._sim_config.seed, "runtime-membership"
         )
+        self._injector: Optional[FaultInjector] = None
+        if fault_plan is not None:
+            self._injector = FaultInjector(
+                fault_plan,
+                self._tree,
+                derive_rng(self._sim_config.seed, "runtime-faults"),
+                emit=self._obs.emit if self._obs.tracing else None,
+                clock_offset=1,
+            )
+            self._reg.register_collector("faults", self._injector.stats)
         for address in self._tree.members():
             self._wire(address)
         for address in self._tree.members():
@@ -211,6 +232,11 @@ class GroupRuntime:
     def observer(self) -> Observer:
         """The attached observer (the shared null observer by default)."""
         return self._obs
+
+    @property
+    def fault_stats(self) -> Optional[Dict[str, int]]:
+        """Injection counters when a fault plan is attached, else None."""
+        return None if self._injector is None else self._injector.stats()
 
     def metrics_snapshot(self) -> Dict[str, Dict[str, object]]:
         """The registry's rolled-up per-subsystem counters."""
@@ -316,6 +342,14 @@ class GroupRuntime:
         """Execute one round: event gossip, membership gossip, detection."""
         self._round += 1
         self._m_rounds.inc()
+        if self._injector is not None:
+            # The fault plan's round windows are 0-based like the
+            # engine's: clause round r acts in the (r+1)-th step.
+            schedule_round = self._round - 1
+            self._injector.begin_round(schedule_round)
+            for victim in self._injector.crashes_at(schedule_round):
+                if victim in self._tree and victim not in self._crashed:
+                    self.crash(victim)
         envelopes: List[Envelope] = []
         if self._active_scheduling:
             for address in sorted(
@@ -333,12 +367,26 @@ class GroupRuntime:
                     envelopes.extend(node.gossip_step(self._ctx))
                     if node.is_idle:
                         self._active.discard(address)
-        survivors = self._network.transmit(envelopes)
+        if self._injector is None:
+            survivors = self._network.transmit(envelopes)
+        else:
+            survivors = self._injector.transmit(
+                self._round - 1, envelopes, self._network
+            )
         self._m_sent.inc(len(envelopes))
-        self._m_lost.inc(len(envelopes) - len(survivors))
+        # Released (delayed) envelopes can make survivors exceed this
+        # round's sends; injected losses are in the "faults" collector.
+        self._m_lost.inc(max(len(envelopes) - len(survivors), 0))
         if self._obs.tracing and envelopes:
             arrived = {id(envelope) for envelope in survivors}
+            diverted = (
+                self._injector.last_diverted
+                if self._injector is not None
+                else frozenset()
+            )
             for envelope in envelopes:
+                if id(envelope) in diverted:
+                    continue
                 self._obs.emit(
                     self._round,
                     "send" if id(envelope) in arrived else "loss",
@@ -395,16 +443,24 @@ class GroupRuntime:
             self.step()
 
     def run_until_idle(self, max_rounds: int = 256) -> int:
-        """Step until no event is buffered anywhere; returns rounds run."""
+        """Step until no event is buffered anywhere; returns rounds run.
+
+        A fault plan holding delayed envelopes keeps the run alive:
+        the group is not idle while a release is still due.
+        """
         for executed in range(max_rounds):
-            if self._active_scheduling:
-                if not self._active:
+            pending = (
+                self._injector is not None and self._injector.has_pending
+            )
+            if not pending:
+                if self._active_scheduling:
+                    if not self._active:
+                        return executed
+                elif all(
+                    node.is_idle or not node.alive
+                    for node in self._nodes.values()
+                ):
                     return executed
-            elif all(
-                node.is_idle or not node.alive
-                for node in self._nodes.values()
-            ):
-                return executed
             self.step()
         return max_rounds
 

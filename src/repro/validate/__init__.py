@@ -1,0 +1,34 @@
+"""Conformance harness: do simulations track the §4 analysis?
+
+:func:`run_conformance` batches seeded simulations and compares the
+empirical delivery/false-reception/round statistics against the
+analytical oracles of :mod:`repro.validate.oracles` (Eqs 8–18) inside
+declared, calibrated :class:`ToleranceBand` s; ``python -m
+repro.validate`` wraps it as a machine-readable pass/fail gate, and
+``tests/validate/test_conformance.py`` runs it under the
+``statistical`` pytest marker.  See docs/VALIDATION.md.
+"""
+
+from repro.validate.harness import (
+    DEFAULT_SETTINGS,
+    FULL_SETTINGS,
+    REPORT_SCHEMA,
+    SUITES,
+    CheckResult,
+    ToleranceBand,
+    ValidationReport,
+    run_conformance,
+)
+from repro.validate.oracles import EQUATIONS
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "SUITES",
+    "DEFAULT_SETTINGS",
+    "FULL_SETTINGS",
+    "EQUATIONS",
+    "ToleranceBand",
+    "CheckResult",
+    "ValidationReport",
+    "run_conformance",
+]

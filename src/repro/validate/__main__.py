@@ -1,0 +1,7 @@
+"""``python -m repro.validate`` dispatches to :mod:`repro.validate.cli`."""
+
+import sys
+
+from repro.validate.cli import main
+
+sys.exit(main())

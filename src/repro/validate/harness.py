@@ -1,0 +1,650 @@
+"""The conformance harness: simulation vs. the §4 stochastic analysis.
+
+The paper's guarantees are statistical, so conformance is too: for
+each equation family, the harness runs a batch of seeded simulations,
+aggregates the empirical statistic, and asks whether it falls inside a
+**declared tolerance band** around the analytical prediction.  A band
+has three components (see :class:`ToleranceBand`):
+
+* an absolute slack, possibly asymmetric — the models are deliberately
+  approximate in known directions (the tree model is pessimistic about
+  delivery, the false-reception estimate is an upper bound);
+* a relative slack proportional to the prediction;
+* a confidence-interval widening ``ci_z * stderr`` absorbing the
+  sampling noise of the batch itself.
+
+Band values are calibrated, not aspirational: each suite's constants
+were chosen from measured deviations at several (ε, τ) settings and
+then frozen (docs/VALIDATION.md records the calibration numbers), so a
+regression that moves simulation or analysis by more than the known
+model error fails the gate.
+
+Four suites cover the acceptance surface:
+
+* ``flat`` — flat-group infection ``E[s_t]`` vs Eqs 8–10;
+* ``rounds`` — rounds-to-95%-saturation vs Eq 11;
+* ``tree`` — delivery / false-reception ratios vs Eqs 12–18;
+* ``faults`` — deterministic executable oracles for the fault plane
+  (a partition yields zero cross-traffic, crashing all delegates
+  strands the subtree, a total blackout stops dissemination, a
+  delay-only plan still delivers everything).
+
+Every trial derives its own seed from the master seed, so a report is
+bit-reproducible; ``python -m repro.validate`` wraps this module as a
+machine-readable gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.addressing import Address, AddressSpace
+from repro.config import PmcastConfig, SimConfig
+from repro.errors import ValidationError
+from repro.faults import FaultPlan
+from repro.interests import Event, StaticInterest
+from repro.sim import (
+    CrashSchedule,
+    PmcastGroup,
+    bernoulli_interests,
+    run_dissemination,
+)
+from repro.sim.rng import derive_rng, derive_seed
+from repro.validate import oracles
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "SUITES",
+    "DEFAULT_SETTINGS",
+    "FULL_SETTINGS",
+    "ToleranceBand",
+    "CheckResult",
+    "ValidationReport",
+    "run_conformance",
+]
+
+#: The versioned report format of :meth:`ValidationReport.to_dict`.
+REPORT_SCHEMA = "repro.validate/v1"
+
+#: The suites, in execution order.
+SUITES = ("flat", "rounds", "tree", "faults")
+
+#: The (ε, τ) grid every statistical suite sweeps (≥ 3 settings).
+DEFAULT_SETTINGS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.0),
+    (0.05, 0.0),
+    (0.1, 0.05),
+)
+
+#: The extended grid of full (non ``--quick``) runs.
+FULL_SETTINGS: Tuple[Tuple[float, float], ...] = DEFAULT_SETTINGS + (
+    (0.2, 0.1),
+)
+
+
+@dataclass(frozen=True)
+class ToleranceBand:
+    """The declared agreement window around a prediction.
+
+    The observed statistic passes when::
+
+        predicted - lower - widen <= observed <= predicted + upper + widen
+        widen = relative * |predicted| + ci_z * stderr
+
+    Attributes:
+        lower: absolute slack below the prediction (how far the
+            simulation may *undershoot* the model).
+        upper: absolute slack above it.
+        relative: slack proportional to ``|predicted|``, both sides.
+        ci_z: multiplier on the batch's standard error (2.58 ≈ a 99%
+            normal confidence interval), absorbing sampling noise.
+    """
+
+    lower: float
+    upper: float
+    relative: float = 0.0
+    ci_z: float = 2.58
+
+    def bounds(
+        self, predicted: float, stderr: float = 0.0
+    ) -> Tuple[float, float]:
+        """The concrete [low, high] window for one check."""
+        widen = self.relative * abs(predicted) + self.ci_z * stderr
+        return predicted - self.lower - widen, predicted + self.upper + widen
+
+    def admits(
+        self, predicted: float, observed: float, stderr: float = 0.0
+    ) -> bool:
+        """True when ``observed`` falls inside the window."""
+        low, high = self.bounds(predicted, stderr)
+        return low <= observed <= high
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "lower": self.lower,
+            "upper": self.upper,
+            "relative": self.relative,
+            "ci_z": self.ci_z,
+        }
+
+
+#: An exact band for the deterministic fault-plane oracles.
+EXACT = ToleranceBand(lower=0.0, upper=0.0, relative=0.0, ci_z=0.0)
+
+# Calibrated statistical bands (see docs/VALIDATION.md for the
+# measured deviations behind each constant).
+FLAT_BAND = ToleranceBand(lower=0.8, upper=0.8, relative=0.12)
+ROUNDS_BAND = ToleranceBand(lower=1.0, upper=1.5, relative=0.25)
+TREE_DELIVERY_BAND = ToleranceBand(lower=0.08, upper=0.40)
+TREE_FALSE_BAND = ToleranceBand(lower=0.30, upper=0.08)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One conformance check: a prediction, a measurement, a verdict."""
+
+    suite: str
+    name: str
+    equation: str
+    predicted: float
+    observed: float
+    stderr: float
+    trials: int
+    lower_bound: float
+    upper_bound: float
+    passed: bool
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "suite": self.suite,
+            "name": self.name,
+            "equation": self.equation,
+            "predicted": round(self.predicted, 6),
+            "observed": round(self.observed, 6),
+            "stderr": round(self.stderr, 6),
+            "trials": self.trials,
+            "lower_bound": round(self.lower_bound, 6),
+            "upper_bound": round(self.upper_bound, 6),
+            "passed": self.passed,
+            "params": self.params,
+        }
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """The full outcome of one conformance run."""
+
+    checks: Tuple[CheckResult, ...]
+    config: Dict[str, Any]
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed."""
+        return all(check.passed for check in self.checks)
+
+    def failures(self) -> List[CheckResult]:
+        """The failing checks, in execution order."""
+        return [check for check in self.checks if not check.passed]
+
+    def suites(self) -> Tuple[str, ...]:
+        """The distinct suites covered, in execution order."""
+        seen: List[str] = []
+        for check in self.checks:
+            if check.suite not in seen:
+                seen.append(check.suite)
+        return tuple(seen)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "passed": self.passed,
+            "config": self.config,
+            "checks": [check.to_dict() for check in self.checks],
+            "summary": {
+                "total": len(self.checks),
+                "failed": len(self.failures()),
+                "suites": list(self.suites()),
+            },
+        }
+
+
+def _mean_stderr(samples: Sequence[float]) -> Tuple[float, float]:
+    count = len(samples)
+    mean = sum(samples) / count
+    if count < 2:
+        return mean, 0.0
+    variance = sum((x - mean) ** 2 for x in samples) / (count - 1)
+    return mean, math.sqrt(variance / count)
+
+
+def _check(
+    suite: str,
+    name: str,
+    equation: str,
+    predicted: float,
+    samples: Sequence[float],
+    band: ToleranceBand,
+    params: Dict[str, Any],
+) -> CheckResult:
+    observed, stderr = _mean_stderr(samples)
+    low, high = band.bounds(predicted, stderr)
+    return CheckResult(
+        suite=suite,
+        name=name,
+        equation=equation,
+        predicted=predicted,
+        observed=observed,
+        stderr=stderr,
+        trials=len(samples),
+        lower_bound=low,
+        upper_bound=high,
+        passed=low <= observed <= high,
+        params=params,
+    )
+
+
+def _flat_group(
+    n: int, fanout: int, min_rounds: int
+) -> Tuple[PmcastGroup, List[Address]]:
+    """A depth-1 (flat) group of ``n`` all-interested processes."""
+    space = AddressSpace.regular(n, 1)
+    members = {
+        address: StaticInterest(True)
+        for address in space.enumerate_regular(n)
+    }
+    config = PmcastConfig(
+        fanout=fanout, redundancy=1, min_rounds_per_depth=min_rounds
+    )
+    return PmcastGroup.build(members, config), sorted(members)
+
+
+def _sample_crashes(
+    addresses: Sequence[Address],
+    publisher: Address,
+    crash_fraction: float,
+    horizon: int,
+    seed: int,
+) -> CrashSchedule:
+    """τ-model crash sampling over everyone *except the publisher*.
+
+    The analytical oracles condition on an event that enters the gossip
+    at all; a publisher crashing at round 0 produces the degenerate
+    zero-round run the models do not describe (the paper's guarantees
+    are about events that were actually multicast).
+    """
+    return CrashSchedule.sample(
+        [address for address in addresses if address != publisher],
+        crash_fraction,
+        horizon=horizon,
+        rng=derive_rng(seed, "crash"),
+    )
+
+
+def _infected_after(curve: Sequence[int], rounds: int) -> int:
+    """``s_t`` from an infection curve (the curve freezes when idle)."""
+    if not curve:
+        return 1
+    if rounds <= 0:
+        return 1
+    return curve[min(rounds, len(curve)) - 1]
+
+
+# -- the flat suite (Eqs 8-10) -------------------------------------------
+
+
+def _run_flat_suite(
+    settings: Sequence[Tuple[float, float]], trials: int, seed: int
+) -> List[CheckResult]:
+    n, fanout = 40, 3
+    windows = (2, 4, 6)
+    horizon = max(windows)
+    checks: List[CheckResult] = []
+    for eps, tau in settings:
+        curves: List[Sequence[int]] = []
+        for trial in range(trials):
+            trial_seed = derive_seed(seed, "flat", eps, tau, trial)
+            group, addresses = _flat_group(
+                n, fanout, min_rounds=horizon + 2
+            )
+            publisher = addresses[0]
+            schedule = _sample_crashes(
+                addresses, publisher, tau, horizon, trial_seed
+            )
+            report = run_dissemination(
+                group,
+                publisher,
+                Event({}, event_id=1),
+                SimConfig(seed=trial_seed, loss_probability=eps),
+                crash_schedule=schedule,
+            )
+            curves.append(report.infection_curve)
+        for rounds in windows:
+            predicted = oracles.flat_infection_prediction(
+                n, fanout, rounds, eps, tau
+            )
+            samples = [
+                float(_infected_after(curve, rounds)) for curve in curves
+            ]
+            checks.append(
+                _check(
+                    "flat",
+                    f"infected[t={rounds},eps={eps},tau={tau}]",
+                    oracles.EQUATIONS["flat_infection"],
+                    predicted,
+                    samples,
+                    FLAT_BAND,
+                    {
+                        "n": n,
+                        "fanout": fanout,
+                        "rounds": rounds,
+                        "eps": eps,
+                        "tau": tau,
+                    },
+                )
+            )
+    return checks
+
+
+# -- the rounds suite (Eq 11) --------------------------------------------
+
+
+def _run_rounds_suite(
+    settings: Sequence[Tuple[float, float]], trials: int, seed: int
+) -> List[CheckResult]:
+    n, fanout = 64, 3
+    horizon = 12
+    checks: List[CheckResult] = []
+    for eps, tau in settings:
+        samples: List[float] = []
+        for trial in range(trials):
+            trial_seed = derive_seed(seed, "rounds", eps, tau, trial)
+            group, addresses = _flat_group(n, fanout, min_rounds=24)
+            publisher = addresses[0]
+            schedule = _sample_crashes(
+                addresses, publisher, tau, horizon, trial_seed
+            )
+            report = run_dissemination(
+                group,
+                publisher,
+                Event({}, event_id=1),
+                SimConfig(seed=trial_seed, loss_probability=eps),
+                crash_schedule=schedule,
+            )
+            curve = report.infection_curve
+            if not curve:
+                continue
+            final = curve[-1]
+            target = 0.95 * final
+            saturation = next(
+                index + 1
+                for index, infected in enumerate(curve)
+                if infected >= target
+            )
+            samples.append(float(saturation))
+        predicted = oracles.saturation_rounds_prediction(
+            n, fanout, eps, tau
+        )
+        checks.append(
+            _check(
+                "rounds",
+                f"saturation[eps={eps},tau={tau}]",
+                oracles.EQUATIONS["saturation_rounds"],
+                predicted,
+                samples,
+                ROUNDS_BAND,
+                {"n": n, "fanout": fanout, "eps": eps, "tau": tau},
+            )
+        )
+    return checks
+
+
+# -- the tree suite (Eqs 12-18) ------------------------------------------
+
+
+def _run_tree_suite(
+    settings: Sequence[Tuple[float, float]], trials: int, seed: int
+) -> List[CheckResult]:
+    arity, depth, redundancy, fanout = 5, 3, 3, 3
+    matching_rates = (0.25, 0.75)
+    horizon = 12
+    config = PmcastConfig(
+        fanout=fanout, redundancy=redundancy, min_rounds_per_depth=2
+    )
+    space = AddressSpace.regular(arity, depth)
+    addresses = sorted(space.enumerate_regular(arity))
+    checks: List[CheckResult] = []
+    for eps, tau in settings:
+        for p_d in matching_rates:
+            delivery_samples: List[float] = []
+            false_samples: List[float] = []
+            for trial in range(trials):
+                trial_seed = derive_seed(
+                    seed, "tree", eps, tau, p_d, trial
+                )
+                members = bernoulli_interests(
+                    addresses, p_d, derive_rng(trial_seed, "interests")
+                )
+                event = Event({}, event_id=1)
+                interested = sorted(
+                    address
+                    for address, interest in members.items()
+                    if interest.matches(event)
+                )
+                if not interested:
+                    continue
+                group = PmcastGroup.build(members, config)
+                publisher = interested[0]
+                schedule = _sample_crashes(
+                    addresses, publisher, tau, horizon, trial_seed
+                )
+                report = run_dissemination(
+                    group,
+                    publisher,
+                    event,
+                    SimConfig(seed=trial_seed, loss_probability=eps),
+                    crash_schedule=schedule,
+                )
+                delivery_samples.append(report.delivery_ratio)
+                false_samples.append(report.false_reception_ratio)
+            params = {
+                "arity": arity,
+                "depth": depth,
+                "redundancy": redundancy,
+                "fanout": fanout,
+                "matching_rate": p_d,
+                "eps": eps,
+                "tau": tau,
+            }
+            checks.append(
+                _check(
+                    "tree",
+                    f"delivery[p={p_d},eps={eps},tau={tau}]",
+                    oracles.EQUATIONS["tree_delivery"],
+                    oracles.tree_delivery_prediction(
+                        p_d, arity, depth, redundancy, fanout, eps, tau
+                    ),
+                    delivery_samples,
+                    TREE_DELIVERY_BAND,
+                    params,
+                )
+            )
+            checks.append(
+                _check(
+                    "tree",
+                    f"false_reception[p={p_d},eps={eps},tau={tau}]",
+                    oracles.EQUATIONS["tree_false_reception"],
+                    oracles.tree_false_reception_prediction(
+                        p_d, arity, depth, redundancy, fanout, eps, tau
+                    ),
+                    false_samples,
+                    TREE_FALSE_BAND,
+                    params,
+                )
+            )
+    return checks
+
+
+# -- the faults suite (deterministic oracles) ----------------------------
+
+
+def _all_interested_group(
+    arity: int, depth: int, redundancy: int, fanout: int
+) -> Tuple[PmcastGroup, List[Address]]:
+    space = AddressSpace.regular(arity, depth)
+    members = {
+        address: StaticInterest(True)
+        for address in space.enumerate_regular(arity)
+    }
+    config = PmcastConfig(
+        fanout=fanout, redundancy=redundancy, min_rounds_per_depth=2
+    )
+    return PmcastGroup.build(members, config), sorted(members)
+
+
+def _run_faults_suite(seed: int) -> List[CheckResult]:
+    """Deterministic fault-plane oracles: exact outcomes, exact bands."""
+    checks: List[CheckResult] = []
+    equation = oracles.EQUATIONS["fault_plane"]
+
+    # 1. A permanent partition isolating subtree 3 -> zero receptions
+    #    inside it.
+    group, addresses = _all_interested_group(4, 2, 2, 3)
+    plan = FaultPlan(name="isolate-3")
+    for other in ("0", "1", "2"):
+        plan = plan.with_partition(0, 512, "3", other)
+    event = Event({}, event_id=1)
+    run_dissemination(
+        group, addresses[0], event, SimConfig(seed=seed), faults=plan
+    )
+    isolated = [a for a in addresses if a.components[0] == 3]
+    leaked = sum(
+        1 for a in isolated if group.node(a).has_received(event)
+    )
+    checks.append(
+        _check(
+            "faults", "partition_isolates_subtree", equation,
+            0.0, [float(leaked)], EXACT, {"plan": plan.name},
+        )
+    )
+
+    # 2. Crashing all R root delegates of subtree 2 at round 0 strands
+    #    the rest of that subtree (no membership repair in a static
+    #    run) -> zero receptions among its survivors.
+    group, addresses = _all_interested_group(4, 2, 2, 3)
+    plan = FaultPlan(name="behead-2").with_delegate_crash(0, "2", count=2)
+    event = Event({}, event_id=1)
+    run_dissemination(
+        group, addresses[0], event, SimConfig(seed=seed), faults=plan
+    )
+    stranded = [a for a in addresses if a.components[0] == 2][2:]
+    reached = sum(
+        1 for a in stranded if group.node(a).has_received(event)
+    )
+    checks.append(
+        _check(
+            "faults", "delegate_crash_strands_subtree", equation,
+            0.0, [float(reached)], EXACT, {"plan": plan.name},
+        )
+    )
+
+    # 3. A total blackout burst (p = 1 over the whole run) -> only the
+    #    publisher ever holds the event.
+    group, addresses = _all_interested_group(4, 2, 2, 3)
+    plan = FaultPlan(name="blackout").with_loss_burst(0, 512, 1.0)
+    event = Event({}, event_id=1)
+    report = run_dissemination(
+        group, addresses[0], event, SimConfig(seed=seed), faults=plan
+    )
+    checks.append(
+        _check(
+            "faults", "blackout_stops_dissemination", equation,
+            1.0, [float(report.received_total)], EXACT,
+            {"plan": plan.name},
+        )
+    )
+
+    # 4. A delay-only plan reorders but loses nothing -> full delivery
+    #    on a loss-free network.
+    group, addresses = _all_interested_group(4, 2, 2, 3)
+    plan = FaultPlan(name="delay-only").with_delay(1, 4, 3)
+    event = Event({}, event_id=1)
+    report = run_dissemination(
+        group, addresses[0], event, SimConfig(seed=seed), faults=plan
+    )
+    checks.append(
+        _check(
+            "faults", "delay_preserves_delivery", equation,
+            1.0, [report.delivery_ratio], EXACT, {"plan": plan.name},
+        )
+    )
+    return checks
+
+
+#: Per-suite default trial counts: (full, quick).
+_TRIALS = {"flat": (40, 12), "rounds": (30, 10), "tree": (25, 8)}
+
+
+def run_conformance(
+    suites: Optional[Sequence[str]] = None,
+    trials: Optional[int] = None,
+    seed: int = 2002,
+    quick: bool = False,
+    settings: Optional[Sequence[Tuple[float, float]]] = None,
+) -> ValidationReport:
+    """Run the conformance suites and return the report.
+
+    Args:
+        suites: which of :data:`SUITES` to run (all by default).
+        trials: per-(setting) simulation count override; by default
+            each suite uses its calibrated count (reduced under
+            ``quick``).
+        seed: the master seed; every trial derives its own from it, so
+            the whole report is bit-reproducible.
+        quick: smaller batches and the 3-setting grid — the CI
+            configuration.
+        settings: explicit (ε, τ) grid override.
+
+    Raises:
+        ValidationError: on an unknown suite name.
+    """
+    chosen = tuple(suites) if suites else SUITES
+    for suite in chosen:
+        if suite not in SUITES:
+            raise ValidationError(
+                f"unknown suite {suite!r}; choose from {SUITES}"
+            )
+    grid = tuple(settings) if settings else (
+        DEFAULT_SETTINGS if quick else FULL_SETTINGS
+    )
+    checks: List[CheckResult] = []
+    for suite in SUITES:
+        if suite not in chosen:
+            continue
+        if suite == "faults":
+            checks.extend(_run_faults_suite(seed))
+            continue
+        full, fast = _TRIALS[suite]
+        count = trials if trials is not None else (fast if quick else full)
+        if count < 2:
+            raise ValidationError(
+                f"suite {suite!r} needs at least 2 trials, got {count}"
+            )
+        if suite == "flat":
+            checks.extend(_run_flat_suite(grid, count, seed))
+        elif suite == "rounds":
+            checks.extend(_run_rounds_suite(grid, count, seed))
+        elif suite == "tree":
+            checks.extend(_run_tree_suite(grid, count, seed))
+    return ValidationReport(
+        checks=tuple(checks),
+        config={
+            "seed": seed,
+            "quick": quick,
+            "suites": list(chosen),
+            "settings": [list(pair) for pair in grid],
+            "trials_override": trials,
+        },
+    )

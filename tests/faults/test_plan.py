@@ -1,0 +1,129 @@
+"""FaultPlan: clause validation, builders, serialization."""
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.errors import FaultError
+from repro.faults import (
+    FAULT_SCHEMA,
+    DelayWindow,
+    DelegateCrash,
+    DepthCrash,
+    FaultPlan,
+    LossBurst,
+    Partition,
+    TargetedCrash,
+)
+
+
+def episode():
+    return (
+        FaultPlan(name="episode")
+        .with_partition(1, 5, "0", "1")
+        .with_delegate_crash(2, "2", count=2)
+        .with_loss_burst(3, 8, 0.5, dest_prefix="1")
+        .with_delay(1, 3, 2, probability=0.5)
+        .with_crash(4, "3.1")
+        .with_depth_crash(5, 2, count=2)
+    )
+
+
+class TestClauses:
+    def test_builders_coerce_strings(self):
+        plan = episode()
+        partition = plan.clauses[0]
+        assert isinstance(partition, Partition)
+        assert partition.side_a == Prefix((0,))
+        crash = plan.clauses[4]
+        assert isinstance(crash, TargetedCrash)
+        assert crash.address == Address((3, 1))
+
+    def test_empty_or_inverted_windows_rejected(self):
+        with pytest.raises(FaultError):
+            LossBurst(3, 3, 0.5)
+        with pytest.raises(FaultError):
+            Partition(5, 2, Prefix((0,)), Prefix((1,)))
+        with pytest.raises(FaultError):
+            DelayWindow(-1, 3, 1)
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultError):
+            LossBurst(0, 1, 0.0)
+        with pytest.raises(FaultError):
+            LossBurst(0, 1, 1.5)
+        with pytest.raises(FaultError):
+            DelayWindow(0, 1, 1, probability=0.0)
+
+    def test_partition_sides_must_be_disjoint_subtrees(self):
+        with pytest.raises(FaultError):
+            Partition(0, 4, Prefix((0,)), Prefix((0, 1)))
+        with pytest.raises(FaultError):
+            Partition(0, 4, Prefix(()), Prefix((2,)))
+
+    def test_negative_rounds_and_counts_rejected(self):
+        with pytest.raises(FaultError):
+            TargetedCrash(-1, Address((0, 0)))
+        with pytest.raises(FaultError):
+            DelegateCrash(0, Prefix((1,)), count=0)
+        with pytest.raises(FaultError):
+            DepthCrash(0, 0, count=1)
+        with pytest.raises(FaultError):
+            DelayWindow(0, 2, 0)
+
+    def test_partition_crosses_both_directions_only(self):
+        clause = Partition(0, 4, Prefix((0,)), Prefix((1,)))
+        a, b, c = Address((0, 3)), Address((1, 2)), Address((2, 0))
+        assert clause.crosses(a, b) and clause.crosses(b, a)
+        assert not clause.crosses(a, c) and not clause.crosses(c, b)
+
+    def test_burst_scoping(self):
+        clause = LossBurst(
+            0, 4, 0.5,
+            sender_prefix=Prefix((0,)), dest_prefix=Prefix((1,)),
+        )
+        assert clause.matches(Address((0, 1)), Address((1, 1)))
+        assert not clause.matches(Address((1, 1)), Address((0, 1)))
+        assert not clause.matches(Address((0, 1)), Address((2, 1)))
+
+
+class TestPlan:
+    def test_builders_do_not_mutate(self):
+        base = FaultPlan(name="base")
+        extended = base.with_crash(0, "1.1")
+        assert base.is_empty and not extended.is_empty
+        assert len(extended) == 1
+
+    def test_last_round_spans_windows_and_crashes(self):
+        plan = episode()
+        assert plan.last_round == 7  # the burst window ends at 8
+
+    def test_json_round_trip(self):
+        plan = episode()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_dict_round_trip_preserves_optional_fields(self):
+        plan = FaultPlan().with_loss_burst(
+            0, 2, 0.25, sender_prefix="1.2"
+        )
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        clause = rebuilt.clauses[0]
+        assert clause.sender_prefix == Prefix((1, 2))
+        assert clause.dest_prefix is None
+
+    def test_schema_tag_present_and_enforced(self):
+        data = episode().to_dict()
+        assert data["schema"] == FAULT_SCHEMA
+        with pytest.raises(FaultError):
+            FaultPlan.from_dict({"schema": "repro.faults/v999"})
+
+    def test_malformed_clauses_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan.from_dict(
+                {"clauses": [{"type": "meteor_strike"}]}
+            )
+        with pytest.raises(FaultError):
+            FaultPlan.from_dict({"clauses": [{"type": "partition"}]})
+        with pytest.raises(FaultError):
+            FaultPlan.from_json("not json")
+        with pytest.raises(FaultError):
+            FaultPlan.from_json("[1, 2]")

@@ -11,7 +11,9 @@ PACKAGES = [
     "repro.membership",
     "repro.core",
     "repro.sim",
+    "repro.faults",
     "repro.analysis",
+    "repro.validate",
     "repro.baselines",
     "repro.bench",
 ]
