@@ -22,7 +22,10 @@ implements the full system of Eugster & Guerraoui's paper:
   outcomes against the §4 models (``python -m repro.validate``);
 * :mod:`repro.baselines` — the §1 alternatives (flood broadcast,
   genuine multicast, per-subset broadcast groups);
-* :mod:`repro.bench` — regeneration of every evaluation figure.
+* :mod:`repro.bench` — regeneration of every evaluation figure;
+* :mod:`repro.par` — deterministic parallel trial execution for the
+  sweeps and the conformance gate (``--jobs N|auto``), bit-identical
+  aggregates at any worker count.
 
 Quickstart::
 

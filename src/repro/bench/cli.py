@@ -3,12 +3,16 @@
 Examples::
 
     python -m repro.bench --figure 4
-    python -m repro.bench --figure 6 --trials 2
+    python -m repro.bench --figure 4 --jobs 4           # 4 worker procs
+    python -m repro.bench --all --jobs auto
     python -m repro.bench --all --arity 10 --trials 2   # quick pass
 
 ``--arity``/``--trials`` shrink the experiment for quick sanity runs;
 defaults regenerate the paper-scale figures (n ≈ 10 000 — expect a few
-minutes per figure on a laptop).
+minutes per figure on a laptop).  ``--jobs N|auto`` fans the trial
+loops out over a process pool **without changing any output bit**
+(see docs/VALIDATION.md, "Parallel execution"); ``--checkpoint
+PREFIX`` makes sweeps resumable after an interruption.
 """
 
 from __future__ import annotations
@@ -20,6 +24,8 @@ from typing import List, Optional, Sequence
 
 from repro.bench import figures
 from repro.bench.extras import baselines_experiment, locality_experiment
+from repro.errors import ReproError
+from repro.par import TrialExecutor
 
 __all__ = ["main"]
 
@@ -79,10 +85,28 @@ def _build_parser() -> argparse.ArgumentParser:
         default=12,
         help="tuning threshold h for figure 7 (default 12)",
     )
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N|auto",
+        help="worker processes for the sweep trial loops ('auto' = "
+        "usable CPUs); figures are identical for every value "
+        "(default 1)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PREFIX",
+        help="JSONL shard-file prefix for resumable sweeps: an "
+        "interrupted run re-invoked with the same arguments skips "
+        "completed trials and produces identical tables",
+    )
     return parser
 
 
-def _run_figure(number: int, args: argparse.Namespace) -> str:
+def _run_figure(
+    number: int, args: argparse.Namespace, executor: TrialExecutor
+) -> str:
     common = {
         "trials": args.trials,
         "seed": args.seed,
@@ -90,6 +114,9 @@ def _run_figure(number: int, args: argparse.Namespace) -> str:
         "crash_fraction": args.crash,
     }
     common = {key: value for key, value in common.items() if value is not None}
+    common["executor"] = executor
+    if args.checkpoint is not None:
+        common["checkpoint"] = f"{args.checkpoint}.fig{number}"
     if number == 4:
         if args.arity is not None:
             common["arity"] = args.arity
@@ -123,23 +150,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(
             "pass --figure N (repeatable), --experiment NAME or --all"
         )
-    for number in numbers:
-        started = time.time()
-        print(_run_figure(number, args))
-        print(f"[figure {number} regenerated in {time.time() - started:.1f}s]")
-        print()
-    for name in args.experiment or ():
-        started = time.time()
-        kwargs = {"seed": args.seed}
-        if args.arity is not None:
-            kwargs["arity"] = args.arity
-        runner = {
-            "locality": locality_experiment,
-            "baselines": baselines_experiment,
-        }[name]
-        print(runner(**kwargs).render())
-        print(f"[experiment {name} ran in {time.time() - started:.1f}s]")
-        print()
+    try:
+        executor = TrialExecutor(jobs=args.jobs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with executor:
+        for number in numbers:
+            started = time.time()
+            try:
+                table = _run_figure(number, args, executor)
+            except ReproError as exc:
+                # E.g. a corrupt/mismatched checkpoint shard: report
+                # cleanly like any other usage/environment error.
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(table)
+            print(
+                f"[figure {number} regenerated in "
+                f"{time.time() - started:.1f}s]"
+            )
+            print()
+        for name in args.experiment or ():
+            started = time.time()
+            kwargs = {"seed": args.seed}
+            if args.arity is not None:
+                kwargs["arity"] = args.arity
+            runner = {
+                "locality": locality_experiment,
+                "baselines": baselines_experiment,
+            }[name]
+            print(runner(**kwargs).render())
+            print(f"[experiment {name} ran in {time.time() - started:.1f}s]")
+            print()
+        if numbers:
+            # stderr, so stdout stays bit-identical for every --jobs value.
+            dispatch = executor.metrics.snapshot().get("par", {})
+            print(
+                f"[dispatch: {dispatch.get('trials_run', 0)} trials run, "
+                f"{dispatch.get('trials_resumed', 0)} resumed from "
+                f"checkpoint, jobs={executor.jobs}]",
+                file=sys.stderr,
+            )
     return 0
 
 

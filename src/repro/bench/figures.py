@@ -16,7 +16,8 @@ path at CI-friendly sizes; the defaults reproduce the paper's captions:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.addressing import AddressSpace
 from repro.analysis import delivery_probability, false_reception_estimate
@@ -24,11 +25,13 @@ from repro.bench.series import FigureResult, Series
 from repro.config import PmcastConfig, SimConfig
 from repro.errors import ReproError
 from repro.interests.events import Event
+from repro.par.executor import TrialExecutor
+from repro.par.seeds import derive_rng
+from repro.par.worker import worker_registry
 from repro.sim import (
     CrashSchedule,
     PmcastGroup,
     bernoulli_interests,
-    derive_rng,
     run_dissemination,
 )
 
@@ -46,6 +49,77 @@ DEFAULT_RATES: Tuple[float, ...] = (
 )
 
 
+@lru_cache(maxsize=8)
+def _sweep_addresses(arity: int, depth: int) -> Tuple:
+    """The (cached) regular address list of one sweep topology.
+
+    Cached per process: every trial of a sweep shares the topology, and
+    pool workers keep the cache warm across the chunks they execute.
+    """
+    space = AddressSpace.regular(arity, depth)
+    return tuple(space.enumerate_regular(arity))
+
+
+def _sweep_trial(task: Tuple) -> Dict[str, float]:
+    """One reliability-sweep trial — the parallel unit of work.
+
+    A pure function of its task tuple: every random stream derives
+    from the (seed, grid point, trial) labels inside it, so the result
+    does not depend on which worker runs the trial or in what order
+    (see :mod:`repro.par.seeds`).  The streams are bit-identical to
+    the historical serial sweep loop.
+    """
+    (
+        rate,
+        trial,
+        arity,
+        depth,
+        redundancy,
+        fanout,
+        seed,
+        loss_probability,
+        crash_fraction,
+        threshold_h,
+    ) = task
+    addresses = _sweep_addresses(arity, depth)
+    config = PmcastConfig(
+        fanout=fanout, redundancy=redundancy, threshold_h=threshold_h
+    )
+    interest_rng = derive_rng(seed, ("interests", rate), trial)
+    members = bernoulli_interests(addresses, rate, interest_rng)
+    group = PmcastGroup.build(members, config)
+    publisher = interest_rng.choice(addresses)
+    # A deterministic event id keeps the derived loss/gossip
+    # streams — and therefore the whole sweep — reproducible.
+    event = Event(
+        {"sweep": 1},
+        event_id=derive_rng(seed, ("event", rate), trial).randrange(2**31),
+    )
+    sim = SimConfig(
+        loss_probability=loss_probability,
+        crash_fraction=0.0,
+        seed=derive_rng(seed, ("sim", rate), trial).randrange(2**31),
+    )
+    schedule = CrashSchedule.sample(
+        addresses,
+        crash_fraction,
+        horizon=32,
+        rng=derive_rng(seed, ("crash", rate), trial),
+    )
+    report = run_dissemination(
+        group, publisher, event, sim, crash_schedule=schedule
+    )
+    registry = worker_registry()
+    registry.counter("bench.sweep", "trials").inc()
+    registry.histogram("bench.sweep", "rounds").observe(report.rounds)
+    return {
+        "delivery": report.delivery_ratio,
+        "false_reception": report.false_reception_ratio,
+        "rounds": report.rounds,
+        "messages": report.messages_sent,
+    }
+
+
 def reliability_sweep(
     matching_rates: Sequence[float],
     arity: int,
@@ -57,6 +131,8 @@ def reliability_sweep(
     loss_probability: float = 0.0,
     crash_fraction: float = 0.0,
     threshold_h: int = 0,
+    executor: Optional[TrialExecutor] = None,
+    checkpoint: Optional[str] = None,
 ) -> List[Dict[str, float]]:
     """One row per matching rate: mean delivery / false-reception etc.
 
@@ -64,51 +140,46 @@ def reliability_sweep(
     (fresh Bernoulli interest assignment each), multicasts one event
     from a random member, and averages the
     :class:`~repro.sim.metrics.DisseminationReport` metrics.
+
+    Trials are dispatched through ``executor`` (a fresh in-process
+    serial executor by default); the rows are **bit-identical for any
+    worker count**, because every trial's randomness is a pure
+    function of ``(seed, rate, trial)`` and aggregation runs over the
+    task-ordered result list.  ``checkpoint`` names a JSONL shard file
+    for resumable sweeps (see :mod:`repro.par.checkpoint`).
     """
     if trials < 1:
         raise ReproError(f"trials {trials} must be >= 1")
-    space = AddressSpace.regular(arity, depth)
-    addresses = space.enumerate_regular(arity)
-    config = PmcastConfig(
-        fanout=fanout, redundancy=redundancy, threshold_h=threshold_h
-    )
+    tasks = [
+        (
+            rate,
+            trial,
+            arity,
+            depth,
+            redundancy,
+            fanout,
+            seed,
+            loss_probability,
+            crash_fraction,
+            threshold_h,
+        )
+        for rate in matching_rates
+        for trial in range(trials)
+    ]
+    if executor is None:
+        executor = TrialExecutor(jobs=1)
+    outcomes = executor.run(_sweep_trial, tasks, checkpoint=checkpoint)
     rows: List[Dict[str, float]] = []
-    for rate in matching_rates:
+    for offset, rate in enumerate(matching_rates):
         delivery = 0.0
         false_reception = 0.0
         rounds = 0.0
         messages = 0.0
-        for trial in range(trials):
-            interest_rng = derive_rng(seed, "interests", rate, trial)
-            members = bernoulli_interests(addresses, rate, interest_rng)
-            group = PmcastGroup.build(members, config)
-            publisher = interest_rng.choice(addresses)
-            # A deterministic event id keeps the derived loss/gossip
-            # streams — and therefore the whole sweep — reproducible.
-            event = Event(
-                {"sweep": 1},
-                event_id=derive_rng(seed, "event", rate, trial).randrange(
-                    2**31
-                ),
-            )
-            sim = SimConfig(
-                loss_probability=loss_probability,
-                crash_fraction=0.0,
-                seed=derive_rng(seed, "sim", rate, trial).randrange(2**31),
-            )
-            schedule = CrashSchedule.sample(
-                addresses,
-                crash_fraction,
-                horizon=32,
-                rng=derive_rng(seed, "crash", rate, trial),
-            )
-            report = run_dissemination(
-                group, publisher, event, sim, crash_schedule=schedule
-            )
-            delivery += report.delivery_ratio
-            false_reception += report.false_reception_ratio
-            rounds += report.rounds
-            messages += report.messages_sent
+        for outcome in outcomes[offset * trials:(offset + 1) * trials]:
+            delivery += outcome["delivery"]
+            false_reception += outcome["false_reception"]
+            rounds += outcome["rounds"]
+            messages += outcome["messages"]
         rows.append(
             {
                 "matching_rate": rate,
@@ -131,6 +202,8 @@ def figure4(
     seed: int = 0,
     loss_probability: float = 0.0,
     crash_fraction: float = 0.0,
+    executor: Optional[TrialExecutor] = None,
+    checkpoint: Optional[str] = None,
 ) -> FigureResult:
     """Figure 4 — P(delivery) for interested processes vs p_d.
 
@@ -148,6 +221,8 @@ def figure4(
         seed,
         loss_probability,
         crash_fraction,
+        executor=executor,
+        checkpoint=checkpoint,
     )
     result = FigureResult(
         figure="Figure 4",
@@ -208,6 +283,8 @@ def figure5(
     seed: int = 0,
     loss_probability: float = 0.0,
     crash_fraction: float = 0.0,
+    executor: Optional[TrialExecutor] = None,
+    checkpoint: Optional[str] = None,
 ) -> FigureResult:
     """Figure 5 — P(reception) for uninterested processes vs p_d.
 
@@ -224,6 +301,8 @@ def figure5(
         seed,
         loss_probability,
         crash_fraction,
+        executor=executor,
+        checkpoint=checkpoint,
     )
     result = FigureResult(
         figure="Figure 5",
@@ -282,6 +361,8 @@ def figure6(
     seed: int = 0,
     loss_probability: float = 0.0,
     crash_fraction: float = 0.0,
+    executor: Optional[TrialExecutor] = None,
+    checkpoint: Optional[str] = None,
 ) -> FigureResult:
     """Figure 6 — scalability: P(delivery) vs subgroup size a.
 
@@ -315,6 +396,10 @@ def figure6(
                 seed,
                 loss_probability,
                 crash_fraction,
+                executor=executor,
+                checkpoint=None
+                if checkpoint is None
+                else f"{checkpoint}.p{rate}-a{arity}",
             )
             points.append((float(arity), rows[0]["delivery"]))
         result.add_series(
@@ -359,6 +444,8 @@ def figure7(
     seed: int = 0,
     loss_probability: float = 0.0,
     crash_fraction: float = 0.0,
+    executor: Optional[TrialExecutor] = None,
+    checkpoint: Optional[str] = None,
 ) -> FigureResult:
     """Figure 7 — tuned (threshold h) vs untuned delivery vs p_d.
 
@@ -378,6 +465,8 @@ def figure7(
         loss_probability,
         crash_fraction,
         threshold_h=0,
+        executor=executor,
+        checkpoint=None if checkpoint is None else f"{checkpoint}.original",
     )
     improved = reliability_sweep(
         matching_rates,
@@ -390,6 +479,8 @@ def figure7(
         loss_probability,
         crash_fraction,
         threshold_h=threshold_h,
+        executor=executor,
+        checkpoint=None if checkpoint is None else f"{checkpoint}.tuned",
     )
     result = FigureResult(
         figure="Figure 7",

@@ -346,12 +346,74 @@ def bench_match_cache(
     }
 
 
+def bench_sweep(
+    arity: int, depth: int, seed: int, mode: str, jobs: Any = "auto"
+) -> Optional[Dict[str, Any]]:
+    """Serial vs parallel reliability sweep: the ``--jobs`` dispatch path.
+
+    Runs the same :func:`~repro.bench.figures.reliability_sweep` twice —
+    once on the in-process serial executor, once on a ``jobs``-worker
+    process pool — and reports both wall-clocks, the speedup, and
+    whether the row lists are **identical** (they must be: the
+    executor's determinism contract, see docs/VALIDATION.md).  The
+    trial count scales inversely with group size so the workload stays
+    a few seconds of serial work at any scale — enough to amortise
+    pool start-up, small enough for CI.
+    """
+    from repro.bench.figures import reliability_sweep
+    from repro.par import TrialExecutor, resolve_jobs
+
+    if mode == "legacy":
+        return None
+    jobs = resolve_jobs(jobs)
+    members = arity ** depth
+    # Inverse-scale trials toward a few seconds of serial work, capped:
+    # per-trial cost has a floor, so tiny test groups would otherwise
+    # explode into thousands of trials.
+    trials = max(4, min(160, 16000 // members))
+    kwargs: Dict[str, Any] = {
+        "matching_rates": (0.1, 0.35, 0.7),
+        "arity": arity,
+        "depth": depth,
+        "redundancy": 3,
+        "fanout": 2,
+        "trials": trials,
+        "seed": seed,
+        "loss_probability": 0.05,
+        "crash_fraction": 0.02,
+    }
+    started = time.perf_counter()
+    with TrialExecutor(jobs=1) as serial:
+        serial_rows = reliability_sweep(executor=serial, **kwargs)
+    serial_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    with TrialExecutor(jobs=jobs) as pool:
+        parallel_rows = reliability_sweep(executor=pool, **kwargs)
+    parallel_seconds = time.perf_counter() - started
+    return {
+        "members": members,
+        "trials_total": trials * len(kwargs["matching_rates"]),
+        "jobs": jobs,
+        "seconds": round(serial_seconds, 4),
+        "seconds_serial": round(serial_seconds, 4),
+        "seconds_parallel": round(parallel_seconds, 4),
+        "speedup_parallel": round(serial_seconds / parallel_seconds, 2)
+        if parallel_seconds
+        else None,
+        "identical_results": parallel_rows == serial_rows,
+        "digest": _sha1(
+            [json.dumps(row, sort_keys=True) for row in serial_rows]
+        ),
+    }
+
+
 _BENCHES = {
     "round_loop": bench_round_loop,
     "faulted_round_loop": bench_faulted_round_loop,
     "engine": bench_engine,
     "churn_refresh": bench_churn_refresh,
     "match_cache": bench_match_cache,
+    "sweep": bench_sweep,
 }
 
 #: Benchmarks excluded from the default selection (opt in via --bench
@@ -366,8 +428,13 @@ def run_suite(
     seed: int = 0,
     modes: Sequence[str] = ("current",),
     benches: Optional[Sequence[str]] = None,
+    jobs: Any = "auto",
 ) -> Dict[str, Any]:
-    """Run the selected benchmarks and return the report structure."""
+    """Run the selected benchmarks and return the report structure.
+
+    ``jobs`` is the worker count for the ``sweep`` benchmark's parallel
+    leg (other benchmarks are single-process by nature).
+    """
     selected = (
         list(benches)
         if benches
@@ -377,7 +444,10 @@ def run_suite(
     for mode in modes:
         mode_results: Dict[str, Any] = {}
         for name in selected:
-            outcome = _BENCHES[name](arity, depth, seed, mode)
+            if name == "sweep":
+                outcome = bench_sweep(arity, depth, seed, mode, jobs=jobs)
+            else:
+                outcome = _BENCHES[name](arity, depth, seed, mode)
             if outcome is not None:
                 mode_results[name] = outcome
         results[mode] = mode_results
@@ -510,6 +580,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "under a standard FaultPlan, for fault-plane overhead)",
     )
     parser.add_argument(
+        "--jobs",
+        default="auto",
+        metavar="N|auto",
+        help="worker count for the sweep benchmark's parallel leg "
+        "(default auto = usable CPUs)",
+    )
+    parser.add_argument(
         "--baseline",
         type=str,
         default=None,
@@ -565,6 +642,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         modes=modes,
         benches=benches,
+        jobs=args.jobs,
     )
     if baseline is not None:
         _merge_baseline(report, baseline)

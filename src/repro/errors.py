@@ -58,3 +58,7 @@ class FaultError(ReproError):
 
 class ValidationError(ReproError):
     """The conformance harness was misconfigured or a report is malformed."""
+
+
+class ParallelError(ReproError):
+    """The parallel trial executor was misused or a checkpoint is corrupt."""

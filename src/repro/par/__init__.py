@@ -1,0 +1,43 @@
+"""repro.par — deterministic parallel trial execution.
+
+The paper's evaluation (§5) and the conformance gate (Eqs 8–18) are
+built from hundreds of independent seeded trials; this subpackage runs
+them across a process pool **without changing a single output bit**:
+
+* :mod:`repro.par.executor` — :class:`TrialExecutor`: serial default,
+  ``ProcessPoolExecutor`` fan-out, chunked dispatch, index-ordered
+  reassembly (``--jobs N|auto`` on ``python -m repro.bench`` and
+  ``python -m repro.validate``);
+* :mod:`repro.par.seeds` — :func:`derive_seed`: per-trial seeds as a
+  stable hash of ``(root_seed, grid_point, trial)``, independent of
+  platform, ``PYTHONHASHSEED`` and worker scheduling;
+* :mod:`repro.par.checkpoint` — JSONL shard files for
+  checkpoint/resume with byte-identical resumed aggregates;
+* :mod:`repro.par.worker` / :mod:`repro.par.merge` — per-worker
+  :mod:`repro.obs` metric collection, merged order-independently at
+  the join point.
+
+The determinism contract is locked down by the ``tests/par``
+equivalence suite; see docs/VALIDATION.md ("Parallel execution").
+"""
+
+from repro.par.checkpoint import CHECKPOINT_SCHEMA, ShardFile, task_key
+from repro.par.executor import TrialExecutor, resolve_jobs
+from repro.par.merge import merge_delta, merge_deltas
+from repro.par.seeds import derive_rng, derive_seed, normalize_grid_point
+from repro.par.worker import drain_metrics, worker_registry
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "ShardFile",
+    "task_key",
+    "TrialExecutor",
+    "resolve_jobs",
+    "merge_delta",
+    "merge_deltas",
+    "derive_rng",
+    "derive_seed",
+    "normalize_grid_point",
+    "drain_metrics",
+    "worker_registry",
+]

@@ -1,0 +1,201 @@
+"""JSONL shard files: checkpoint/resume for chunked trial dispatch.
+
+A sweep writing a checkpoint appends one JSON line per completed trial
+to a *shard file*::
+
+    {"schema": "repro.par/v1", "fingerprint": "…", "total": 60}   # header
+    {"index": 17, "key": "0f3a…", "result": {…}}                  # entries
+    {"index": 3,  "key": "9bc2…", "result": {…}}                  # any order
+
+The header pins the sweep's **fingerprint** — a hash of the trial
+function's identity and every task's canonical key — so a shard can
+only resume the exact sweep that wrote it; entries may appear in any
+order (parallel chunks complete nondeterministically) and are keyed by
+task index.  Results must be JSON-serialisable; they are replayed
+verbatim on resume, so a resumed aggregate is byte-identical to an
+uninterrupted run.
+
+Failure handling is deliberately strict (a checkpoint that silently
+recomputes is worse than none):
+
+* any malformed line, schema/fingerprint/total mismatch, out-of-range
+  index, or entry whose key contradicts the task list raises
+  :class:`~repro.errors.ParallelError`;
+* the single exception is a **truncated final line without a trailing
+  newline** — the signature of a process killed mid-write — which is
+  dropped, losing at most one trial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import ParallelError
+
+__all__ = ["CHECKPOINT_SCHEMA", "ShardFile", "task_key", "run_fingerprint"]
+
+#: The versioned shard-file format.
+CHECKPOINT_SCHEMA = "repro.par/v1"
+
+
+def task_key(task: object) -> str:
+    """A stable short key for one task (hash of its canonical repr)."""
+    return hashlib.sha256(repr(task).encode("utf-8")).hexdigest()[:16]
+
+
+def run_fingerprint(fn_name: str, keys: Sequence[str]) -> str:
+    """The identity of one sweep: trial function + every task key."""
+    digest = hashlib.sha256()
+    digest.update(f"{CHECKPOINT_SCHEMA}:{fn_name}:{len(keys)}".encode())
+    for key in keys:
+        digest.update(key.encode("utf-8"))
+    return digest.hexdigest()[:32]
+
+
+class ShardFile:
+    """One sweep's checkpoint: validated load, append-as-you-go writes."""
+
+    def __init__(self, path: str, fingerprint: str, keys: Sequence[str]):
+        self.path = path
+        self.fingerprint = fingerprint
+        self.keys = list(keys)
+        self._handle = None
+
+    # -- loading ---------------------------------------------------------
+
+    def load(self) -> Dict[int, Any]:
+        """Completed results by task index; {} when no shard exists yet.
+
+        Raises:
+            ParallelError: if the shard is corrupt or belongs to a
+                different sweep (see module docstring).
+        """
+        if not os.path.exists(self.path):
+            return {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        if not raw:
+            return {}
+        lines = raw.split("\n")
+        # A final line without its newline is an interrupted write:
+        # drop it (open_for_append truncates it from the file too).
+        body: List[str] = [line for line in lines[:-1] if line]
+        if not body:
+            return {}
+        header = self._parse(body[0], line_number=1)
+        self._check_header(header)
+        results: Dict[int, Any] = {}
+        for number, line in enumerate(body[1:], start=2):
+            entry = self._parse(line, line_number=number)
+            results[self._checked_index(entry, number)] = entry["result"]
+        return results
+
+    def _parse(self, line: str, line_number: int) -> Dict[str, Any]:
+        try:
+            value = json.loads(line)
+        except ValueError as exc:
+            raise ParallelError(
+                f"checkpoint {self.path} is corrupt: line {line_number} "
+                f"is not valid JSON ({exc})"
+            ) from None
+        if not isinstance(value, dict):
+            raise ParallelError(
+                f"checkpoint {self.path} is corrupt: line {line_number} "
+                f"is not an object"
+            )
+        return value
+
+    def _check_header(self, header: Dict[str, Any]) -> None:
+        if header.get("schema") != CHECKPOINT_SCHEMA:
+            raise ParallelError(
+                f"checkpoint {self.path} has schema "
+                f"{header.get('schema')!r}, expected {CHECKPOINT_SCHEMA!r}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise ParallelError(
+                f"checkpoint {self.path} was written by a different sweep "
+                f"(fingerprint {header.get('fingerprint')!r} != "
+                f"{self.fingerprint!r}); delete it or point the sweep at "
+                f"a fresh path"
+            )
+        if header.get("total") != len(self.keys):
+            raise ParallelError(
+                f"checkpoint {self.path} expects {header.get('total')!r} "
+                f"tasks, this sweep has {len(self.keys)}"
+            )
+
+    def _checked_index(self, entry: Dict[str, Any], line_number: int) -> int:
+        index = entry.get("index")
+        if not isinstance(index, int) or not 0 <= index < len(self.keys):
+            raise ParallelError(
+                f"checkpoint {self.path} is corrupt: line {line_number} "
+                f"has task index {index!r} outside [0, {len(self.keys)})"
+            )
+        if entry.get("key") != self.keys[index]:
+            raise ParallelError(
+                f"checkpoint {self.path} is corrupt: line {line_number} "
+                f"records key {entry.get('key')!r} for task {index}, "
+                f"expected {self.keys[index]!r}"
+            )
+        if "result" not in entry:
+            raise ParallelError(
+                f"checkpoint {self.path} is corrupt: line {line_number} "
+                f"has no result field"
+            )
+        return index
+
+    # -- writing ---------------------------------------------------------
+
+    def open_for_append(self) -> None:
+        """Open the shard for appending, writing the header when new.
+
+        A trailing partial line (interrupted write) is truncated away
+        first, so the next append starts on a clean line boundary; the
+        trial it carried is simply recomputed.
+        """
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if exists:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+            if not data.endswith(b"\n"):
+                cut = data.rfind(b"\n") + 1
+                with open(self.path, "wb") as handle:
+                    handle.write(data[:cut])
+                exists = cut > 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if not exists:
+            header = {
+                "schema": CHECKPOINT_SCHEMA,
+                "fingerprint": self.fingerprint,
+                "total": len(self.keys),
+            }
+            self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+            self._handle.flush()
+
+    def append(self, index: int, result: Any) -> None:
+        """Record one completed trial (flushed immediately)."""
+        if self._handle is None:
+            raise ParallelError(
+                f"checkpoint {self.path} is not open for appending"
+            )
+        try:
+            line = json.dumps(
+                {"index": index, "key": self.keys[index], "result": result},
+                sort_keys=True,
+            )
+        except (TypeError, ValueError) as exc:
+            raise ParallelError(
+                f"checkpointed trial results must be JSON-serialisable: "
+                f"task {index} returned {type(result).__name__} ({exc})"
+            ) from None
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the append handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

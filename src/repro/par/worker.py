@@ -1,0 +1,62 @@
+"""Per-worker observability state for parallel trial execution.
+
+Each worker process owns one :class:`~repro.obs.registry.MetricsRegistry`
+that trial functions may instrument through :func:`worker_registry` —
+the same counters/histograms API the rest of the code base uses, with
+no cross-process coordination.  After every chunk the executor drains
+the registry into a plain *delta* (:func:`drain_metrics`) that rides
+back to the parent with the chunk's results, where the deltas are
+merged order-independently (see :mod:`repro.par.merge`).
+
+The registry is process-global on purpose: trial functions run in
+whatever worker the pool picked, and must not need to thread a handle
+through their (picklable) task tuples.  In serial mode the "worker" is
+the parent process itself and the exact same drain/merge path runs, so
+``jobs=1`` and ``jobs=N`` produce identical merged metrics for
+deterministic per-trial instrumentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["worker_registry", "drain_metrics", "MetricsDelta"]
+
+#: The wire form of one drained registry: plain dicts keyed by
+#: ``(subsystem, name)``, picklable and order-independent to merge.
+MetricsDelta = Dict[str, Dict[Tuple[str, str], object]]
+
+_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def worker_registry() -> MetricsRegistry:
+    """This process's trial-metrics registry, created on first use."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = MetricsRegistry()
+    return _REGISTRY
+
+
+def drain_metrics() -> MetricsDelta:
+    """Snapshot and reset this process's registry.
+
+    Returns the accumulated instrument values since the previous drain
+    as a :data:`MetricsDelta`; the registry starts fresh afterwards, so
+    consecutive chunks report disjoint increments.
+    """
+    global _REGISTRY
+    registry, _REGISTRY = _REGISTRY, None
+    delta: MetricsDelta = {"counters": {}, "gauges": {}, "histograms": {}}
+    if registry is None:
+        return delta
+    for instrument in registry.instruments():
+        key = (instrument.subsystem, instrument.name)
+        if isinstance(instrument, Histogram):
+            delta["histograms"][key] = instrument.as_dict()
+        elif isinstance(instrument, Gauge):
+            delta["gauges"][key] = instrument.value
+        elif isinstance(instrument, Counter):
+            delta["counters"][key] = instrument.value
+    return delta

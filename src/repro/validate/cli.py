@@ -76,6 +76,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2002, help="master seed (default 2002)"
     )
     parser.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N|auto",
+        help="worker processes for the statistical trial batches "
+        "('auto' = usable CPUs); the report is identical for every "
+        "value (default 1)",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="write the JSON report to this path",
@@ -97,6 +105,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             trials=args.trials,
             seed=args.seed,
             quick=args.quick,
+            jobs=args.jobs,
         )
         payload = report.to_dict()
         if args.output:

@@ -45,13 +45,16 @@ from repro.config import PmcastConfig, SimConfig
 from repro.errors import ValidationError
 from repro.faults import FaultPlan
 from repro.interests import Event, StaticInterest
+from repro.par.executor import TrialExecutor
+from repro.par.seeds import derive_seed
+from repro.par.worker import worker_registry
 from repro.sim import (
     CrashSchedule,
     PmcastGroup,
     bernoulli_interests,
     run_dissemination,
 )
-from repro.sim.rng import derive_rng, derive_seed
+from repro.sim.rng import derive_rng
 from repro.validate import oracles
 
 __all__ = [
@@ -295,32 +298,50 @@ def _infected_after(curve: Sequence[int], rounds: int) -> int:
 # -- the flat suite (Eqs 8-10) -------------------------------------------
 
 
+def _flat_trial(task: Tuple) -> List[int]:
+    """One flat-suite trial: the infection curve of one seeded run.
+
+    A pure function of its task tuple (the parallel unit of work): the
+    trial seed derives from ``(seed, ("flat", eps, tau), trial)``, so
+    the curve is independent of worker scheduling and bit-identical to
+    the historical serial loop.
+    """
+    eps, tau, trial, seed, n, fanout, min_rounds, horizon = task
+    trial_seed = derive_seed(seed, ("flat", eps, tau), trial)
+    group, addresses = _flat_group(n, fanout, min_rounds=min_rounds)
+    publisher = addresses[0]
+    schedule = _sample_crashes(
+        addresses, publisher, tau, horizon, trial_seed
+    )
+    report = run_dissemination(
+        group,
+        publisher,
+        Event({}, event_id=1),
+        SimConfig(seed=trial_seed, loss_probability=eps),
+        crash_schedule=schedule,
+    )
+    worker_registry().counter("validate.flat", "trials").inc()
+    return list(report.infection_curve)
+
+
 def _run_flat_suite(
-    settings: Sequence[Tuple[float, float]], trials: int, seed: int
+    settings: Sequence[Tuple[float, float]],
+    trials: int,
+    seed: int,
+    executor: TrialExecutor,
 ) -> List[CheckResult]:
     n, fanout = 40, 3
     windows = (2, 4, 6)
     horizon = max(windows)
+    tasks = [
+        (eps, tau, trial, seed, n, fanout, horizon + 2, horizon)
+        for eps, tau in settings
+        for trial in range(trials)
+    ]
+    all_curves = executor.run(_flat_trial, tasks)
     checks: List[CheckResult] = []
-    for eps, tau in settings:
-        curves: List[Sequence[int]] = []
-        for trial in range(trials):
-            trial_seed = derive_seed(seed, "flat", eps, tau, trial)
-            group, addresses = _flat_group(
-                n, fanout, min_rounds=horizon + 2
-            )
-            publisher = addresses[0]
-            schedule = _sample_crashes(
-                addresses, publisher, tau, horizon, trial_seed
-            )
-            report = run_dissemination(
-                group,
-                publisher,
-                Event({}, event_id=1),
-                SimConfig(seed=trial_seed, loss_probability=eps),
-                crash_schedule=schedule,
-            )
-            curves.append(report.infection_curve)
+    for offset, (eps, tau) in enumerate(settings):
+        curves = all_curves[offset * trials:(offset + 1) * trials]
         for rounds in windows:
             predicted = oracles.flat_infection_prediction(
                 n, fanout, rounds, eps, tau
@@ -351,39 +372,58 @@ def _run_flat_suite(
 # -- the rounds suite (Eq 11) --------------------------------------------
 
 
+def _rounds_trial(task: Tuple) -> Optional[float]:
+    """One rounds-suite trial: rounds to 95% saturation (None if the
+    run produced no infection curve)."""
+    eps, tau, trial, seed, n, fanout, min_rounds, horizon = task
+    trial_seed = derive_seed(seed, ("rounds", eps, tau), trial)
+    group, addresses = _flat_group(n, fanout, min_rounds=min_rounds)
+    publisher = addresses[0]
+    schedule = _sample_crashes(
+        addresses, publisher, tau, horizon, trial_seed
+    )
+    report = run_dissemination(
+        group,
+        publisher,
+        Event({}, event_id=1),
+        SimConfig(seed=trial_seed, loss_probability=eps),
+        crash_schedule=schedule,
+    )
+    worker_registry().counter("validate.rounds", "trials").inc()
+    curve = report.infection_curve
+    if not curve:
+        return None
+    final = curve[-1]
+    target = 0.95 * final
+    saturation = next(
+        index + 1
+        for index, infected in enumerate(curve)
+        if infected >= target
+    )
+    return float(saturation)
+
+
 def _run_rounds_suite(
-    settings: Sequence[Tuple[float, float]], trials: int, seed: int
+    settings: Sequence[Tuple[float, float]],
+    trials: int,
+    seed: int,
+    executor: TrialExecutor,
 ) -> List[CheckResult]:
     n, fanout = 64, 3
     horizon = 12
+    tasks = [
+        (eps, tau, trial, seed, n, fanout, 24, horizon)
+        for eps, tau in settings
+        for trial in range(trials)
+    ]
+    outcomes = executor.run(_rounds_trial, tasks)
     checks: List[CheckResult] = []
-    for eps, tau in settings:
-        samples: List[float] = []
-        for trial in range(trials):
-            trial_seed = derive_seed(seed, "rounds", eps, tau, trial)
-            group, addresses = _flat_group(n, fanout, min_rounds=24)
-            publisher = addresses[0]
-            schedule = _sample_crashes(
-                addresses, publisher, tau, horizon, trial_seed
-            )
-            report = run_dissemination(
-                group,
-                publisher,
-                Event({}, event_id=1),
-                SimConfig(seed=trial_seed, loss_probability=eps),
-                crash_schedule=schedule,
-            )
-            curve = report.infection_curve
-            if not curve:
-                continue
-            final = curve[-1]
-            target = 0.95 * final
-            saturation = next(
-                index + 1
-                for index, infected in enumerate(curve)
-                if infected >= target
-            )
-            samples.append(float(saturation))
+    for offset, (eps, tau) in enumerate(settings):
+        samples = [
+            saturation
+            for saturation in outcomes[offset * trials:(offset + 1) * trials]
+            if saturation is not None
+        ]
         predicted = oracles.saturation_rounds_prediction(
             n, fanout, eps, tau
         )
@@ -404,86 +444,119 @@ def _run_rounds_suite(
 # -- the tree suite (Eqs 12-18) ------------------------------------------
 
 
-def _run_tree_suite(
-    settings: Sequence[Tuple[float, float]], trials: int, seed: int
-) -> List[CheckResult]:
-    arity, depth, redundancy, fanout = 5, 3, 3, 3
-    matching_rates = (0.25, 0.75)
-    horizon = 12
+def _tree_trial(task: Tuple) -> Optional[List[float]]:
+    """One tree-suite trial: ``[delivery, false_reception]`` ratios
+    (None when the Bernoulli draw produced no interested process)."""
+    (
+        eps,
+        tau,
+        p_d,
+        trial,
+        seed,
+        arity,
+        depth,
+        redundancy,
+        fanout,
+        horizon,
+    ) = task
     config = PmcastConfig(
         fanout=fanout, redundancy=redundancy, min_rounds_per_depth=2
     )
     space = AddressSpace.regular(arity, depth)
     addresses = sorted(space.enumerate_regular(arity))
+    trial_seed = derive_seed(seed, ("tree", eps, tau, p_d), trial)
+    members = bernoulli_interests(
+        addresses, p_d, derive_rng(trial_seed, "interests")
+    )
+    event = Event({}, event_id=1)
+    interested = sorted(
+        address
+        for address, interest in members.items()
+        if interest.matches(event)
+    )
+    if not interested:
+        return None
+    group = PmcastGroup.build(members, config)
+    publisher = interested[0]
+    schedule = _sample_crashes(
+        addresses, publisher, tau, horizon, trial_seed
+    )
+    report = run_dissemination(
+        group,
+        publisher,
+        event,
+        SimConfig(seed=trial_seed, loss_probability=eps),
+        crash_schedule=schedule,
+    )
+    worker_registry().counter("validate.tree", "trials").inc()
+    return [report.delivery_ratio, report.false_reception_ratio]
+
+
+def _run_tree_suite(
+    settings: Sequence[Tuple[float, float]],
+    trials: int,
+    seed: int,
+    executor: TrialExecutor,
+) -> List[CheckResult]:
+    arity, depth, redundancy, fanout = 5, 3, 3, 3
+    matching_rates = (0.25, 0.75)
+    horizon = 12
+    grid = [
+        (eps, tau, p_d)
+        for eps, tau in settings
+        for p_d in matching_rates
+    ]
+    tasks = [
+        (eps, tau, p_d, trial, seed, arity, depth, redundancy, fanout,
+         horizon)
+        for eps, tau, p_d in grid
+        for trial in range(trials)
+    ]
+    outcomes = executor.run(_tree_trial, tasks)
     checks: List[CheckResult] = []
-    for eps, tau in settings:
-        for p_d in matching_rates:
-            delivery_samples: List[float] = []
-            false_samples: List[float] = []
-            for trial in range(trials):
-                trial_seed = derive_seed(
-                    seed, "tree", eps, tau, p_d, trial
-                )
-                members = bernoulli_interests(
-                    addresses, p_d, derive_rng(trial_seed, "interests")
-                )
-                event = Event({}, event_id=1)
-                interested = sorted(
-                    address
-                    for address, interest in members.items()
-                    if interest.matches(event)
-                )
-                if not interested:
-                    continue
-                group = PmcastGroup.build(members, config)
-                publisher = interested[0]
-                schedule = _sample_crashes(
-                    addresses, publisher, tau, horizon, trial_seed
-                )
-                report = run_dissemination(
-                    group,
-                    publisher,
-                    event,
-                    SimConfig(seed=trial_seed, loss_probability=eps),
-                    crash_schedule=schedule,
-                )
-                delivery_samples.append(report.delivery_ratio)
-                false_samples.append(report.false_reception_ratio)
-            params = {
-                "arity": arity,
-                "depth": depth,
-                "redundancy": redundancy,
-                "fanout": fanout,
-                "matching_rate": p_d,
-                "eps": eps,
-                "tau": tau,
-            }
-            checks.append(
-                _check(
-                    "tree",
-                    f"delivery[p={p_d},eps={eps},tau={tau}]",
-                    oracles.EQUATIONS["tree_delivery"],
-                    oracles.tree_delivery_prediction(
-                        p_d, arity, depth, redundancy, fanout, eps, tau
-                    ),
-                    delivery_samples,
-                    TREE_DELIVERY_BAND,
-                    params,
-                )
+    for offset, (eps, tau, p_d) in enumerate(grid):
+        ratios = [
+            outcome
+            for outcome in outcomes[offset * trials:(offset + 1) * trials]
+            if outcome is not None
+        ]
+        delivery_samples = [ratio[0] for ratio in ratios]
+        false_samples = [ratio[1] for ratio in ratios]
+        params = {
+            "arity": arity,
+            "depth": depth,
+            "redundancy": redundancy,
+            "fanout": fanout,
+            "matching_rate": p_d,
+            "eps": eps,
+            "tau": tau,
+        }
+        checks.append(
+            _check(
+                "tree",
+                f"delivery[p={p_d},eps={eps},tau={tau}]",
+                oracles.EQUATIONS["tree_delivery"],
+                oracles.tree_delivery_prediction(
+                    p_d, arity, depth, redundancy, fanout, eps, tau
+                ),
+                delivery_samples,
+                TREE_DELIVERY_BAND,
+                params,
             )
-            checks.append(
-                _check(
-                    "tree",
-                    f"false_reception[p={p_d},eps={eps},tau={tau}]",
-                    oracles.EQUATIONS["tree_false_reception"],
-                    oracles.tree_false_reception_prediction(
-                        p_d, arity, depth, redundancy, fanout, eps, tau
-                    ),
-                    false_samples,
-                    TREE_FALSE_BAND,
-                    params,
-                )
+        )
+        checks.append(
+            _check(
+                "tree",
+                f"false_reception[p={p_d},eps={eps},tau={tau}]",
+                oracles.EQUATIONS["tree_false_reception"],
+                oracles.tree_false_reception_prediction(
+                    p_d, arity, depth, redundancy, fanout, eps, tau
+                ),
+                false_samples,
+                TREE_FALSE_BAND,
+                params,
             )
+        )
     return checks
 
 
@@ -593,6 +666,8 @@ def run_conformance(
     seed: int = 2002,
     quick: bool = False,
     settings: Optional[Sequence[Tuple[float, float]]] = None,
+    jobs: object = 1,
+    executor: Optional[TrialExecutor] = None,
 ) -> ValidationReport:
     """Run the conformance suites and return the report.
 
@@ -606,9 +681,21 @@ def run_conformance(
         quick: smaller batches and the 3-setting grid — the CI
             configuration.
         settings: explicit (ε, τ) grid override.
+        jobs: worker-process count for the statistical suites' trial
+            batches — an int, a digit string, or ``"auto"`` (see
+            :func:`repro.par.executor.resolve_jobs`).  The report is
+            **identical for every value**: trial seeds derive from the
+            master seed and the grid point alone, and samples are
+            aggregated in task order.  ``jobs`` is deliberately *not*
+            recorded in the report's config, so serial and parallel
+            reports compare equal byte for byte.
+        executor: an externally managed :class:`~repro.par.executor.
+            TrialExecutor` to dispatch through (overrides ``jobs``);
+            the caller keeps ownership and must close it.
 
     Raises:
         ValidationError: on an unknown suite name.
+        ParallelError: on an invalid ``jobs`` value.
     """
     chosen = tuple(suites) if suites else SUITES
     for suite in chosen:
@@ -619,25 +706,36 @@ def run_conformance(
     grid = tuple(settings) if settings else (
         DEFAULT_SETTINGS if quick else FULL_SETTINGS
     )
+    owns_executor = executor is None
+    if executor is None:
+        executor = TrialExecutor(jobs=jobs)  # type: ignore[arg-type]
     checks: List[CheckResult] = []
-    for suite in SUITES:
-        if suite not in chosen:
-            continue
-        if suite == "faults":
-            checks.extend(_run_faults_suite(seed))
-            continue
-        full, fast = _TRIALS[suite]
-        count = trials if trials is not None else (fast if quick else full)
-        if count < 2:
-            raise ValidationError(
-                f"suite {suite!r} needs at least 2 trials, got {count}"
+    try:
+        for suite in SUITES:
+            if suite not in chosen:
+                continue
+            if suite == "faults":
+                checks.extend(_run_faults_suite(seed))
+                continue
+            full, fast = _TRIALS[suite]
+            count = (
+                trials if trials is not None else (fast if quick else full)
             )
-        if suite == "flat":
-            checks.extend(_run_flat_suite(grid, count, seed))
-        elif suite == "rounds":
-            checks.extend(_run_rounds_suite(grid, count, seed))
-        elif suite == "tree":
-            checks.extend(_run_tree_suite(grid, count, seed))
+            if count < 2:
+                raise ValidationError(
+                    f"suite {suite!r} needs at least 2 trials, got {count}"
+                )
+            if suite == "flat":
+                checks.extend(_run_flat_suite(grid, count, seed, executor))
+            elif suite == "rounds":
+                checks.extend(
+                    _run_rounds_suite(grid, count, seed, executor)
+                )
+            elif suite == "tree":
+                checks.extend(_run_tree_suite(grid, count, seed, executor))
+    finally:
+        if owns_executor:
+            executor.close()
     return ValidationReport(
         checks=tuple(checks),
         config={

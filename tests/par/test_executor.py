@@ -1,0 +1,154 @@
+"""TrialExecutor mechanics: ordering, chunking, metrics, failure modes."""
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.par import TrialExecutor, resolve_jobs
+from repro.par.merge import merge_delta, merge_deltas
+from repro.par.seeds import derive_rng
+from repro.par.worker import drain_metrics, worker_registry
+from repro.obs.registry import MetricsRegistry
+
+
+def echo_fn(task):
+    return task
+
+
+def draw_fn(task):
+    rate, trial = task
+    return derive_rng(23, ("exec", rate), trial).random()
+
+
+def instrumented_fn(task):
+    registry = worker_registry()
+    registry.counter("t", "calls").inc()
+    registry.gauge("t", "last").set(task)
+    registry.histogram("t", "values", bounds=(1, 2, 4)).observe(task)
+    return task * task
+
+
+def failing_fn(task):
+    if task == 3:
+        raise ValueError("boom")
+    return task
+
+
+TASKS = [(rate, trial) for rate in (0.1, 0.9) for trial in range(5)]
+
+
+class TestResolveJobs:
+    def test_accepted_forms(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(8) == 8
+        assert resolve_jobs("3") == 3
+        assert resolve_jobs(" 2 ") == 2
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs("auto") >= 1
+
+    @pytest.mark.parametrize("bad", [0, -1, "0", "nope", "1.5", ""])
+    def test_rejected_forms(self, bad):
+        with pytest.raises(ParallelError):
+            resolve_jobs(bad)
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ParallelError):
+            TrialExecutor(jobs=1, chunk_size=0)
+
+
+class TestOrdering:
+    def test_results_in_task_order_serial(self):
+        with TrialExecutor(jobs=1) as executor:
+            assert executor.run(echo_fn, TASKS) == TASKS
+
+    def test_results_in_task_order_pool(self):
+        # chunk_size=1 maximises scheduling nondeterminism: ten chunks
+        # racing over three workers, reassembled by index.
+        with TrialExecutor(jobs=3, chunk_size=1) as executor:
+            assert executor.run(echo_fn, TASKS) == TASKS
+
+    def test_pool_matches_serial_for_seeded_trials(self):
+        with TrialExecutor(jobs=1) as executor:
+            serial = executor.run(draw_fn, TASKS)
+        with TrialExecutor(jobs=4) as executor:
+            parallel = executor.run(draw_fn, TASKS)
+        assert parallel == serial
+
+    def test_executor_is_reusable_across_runs(self):
+        with TrialExecutor(jobs=2) as executor:
+            first = executor.run(draw_fn, TASKS)
+            second = executor.run(draw_fn, list(reversed(TASKS)))
+        assert second == list(reversed(first))
+
+    def test_empty_task_list(self):
+        with TrialExecutor(jobs=1) as executor:
+            assert executor.run(echo_fn, []) == []
+
+
+class TestMetrics:
+    def _run(self, jobs):
+        with TrialExecutor(jobs=jobs) as executor:
+            executor.run(instrumented_fn, [1, 2, 3, 4, 5])
+            return executor.metrics.snapshot()
+
+    def test_dispatch_counters_serial(self):
+        snapshot = self._run(1)["par"]
+        assert snapshot["trials_total"] == 5
+        assert snapshot["trials_run"] == 5
+        assert snapshot["trials_resumed"] == 0
+
+    def test_worker_metrics_merge_is_jobs_independent(self):
+        serial = self._run(1)
+        parallel = self._run(3)
+        # The dispatch bookkeeping legitimately differs (chunk count,
+        # jobs gauge); everything the trials recorded must not.
+        for snapshot in (serial, parallel):
+            snapshot["par"].pop("chunks_dispatched", None)
+            snapshot["par"].pop("jobs", None)
+        assert serial == parallel
+        assert serial["t"]["calls"] == 5
+        assert serial["t"]["values"]["count"] == 5
+
+    def test_gauge_merges_by_max(self):
+        assert self._run(3)["t"]["last"] == 5
+
+    def test_merge_deltas_order_independent(self):
+        deltas = []
+        for value in (1, 2, 3):
+            registry = worker_registry()
+            registry.counter("m", "n").inc(value)
+            registry.histogram("m", "h", bounds=(1, 2)).observe(value)
+            deltas.append(drain_metrics())
+        forward = MetricsRegistry()
+        merge_deltas(forward, deltas)
+        backward = MetricsRegistry()
+        merge_deltas(backward, list(reversed(deltas)))
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_merge_delta_rejects_mismatched_bounds(self):
+        from repro.errors import ObservabilityError
+
+        registry = worker_registry()
+        registry.histogram("m", "h", bounds=(1, 2)).observe(1)
+        delta = drain_metrics()
+        target = MetricsRegistry()
+        target.histogram("m", "h", bounds=(5, 6))
+        with pytest.raises(ObservabilityError, match="bounds"):
+            merge_delta(target, delta)
+
+
+class TestFailures:
+    def test_trial_exception_propagates_serial(self):
+        with TrialExecutor(jobs=1) as executor:
+            with pytest.raises(ValueError, match="boom"):
+                executor.run(failing_fn, [1, 2, 3, 4])
+
+    def test_trial_exception_propagates_pool(self):
+        with TrialExecutor(jobs=2) as executor:
+            with pytest.raises(ValueError, match="boom"):
+                executor.run(failing_fn, [1, 2, 3, 4])
+
+    def test_close_is_idempotent(self):
+        executor = TrialExecutor(jobs=2)
+        executor.run(echo_fn, [1])
+        executor.close()
+        executor.close()

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.validate",
     "repro.baselines",
     "repro.bench",
+    "repro.par",
 ]
 
 
