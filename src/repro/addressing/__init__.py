@@ -6,7 +6,7 @@ Exports:
     distance, shared_prefix_depth, same_subgroup -- the paper's metric
 """
 
-from repro.addressing.address import Address, Prefix
+from repro.addressing.address import Address, Prefix, component_key
 from repro.addressing.allocation import AddressAllocator
 from repro.addressing.distance import (
     distance,
@@ -19,6 +19,7 @@ from repro.addressing.space import AddressSpace
 __all__ = [
     "Address",
     "Prefix",
+    "component_key",
     "AddressSpace",
     "AddressAllocator",
     "distance",

@@ -17,11 +17,12 @@ which the membership layer relies on for deterministic delegate election
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Tuple
+import operator
+from typing import Dict, Iterator, Sequence, Tuple
 
 from repro.errors import AddressError
 
-__all__ = ["Address", "Prefix"]
+__all__ = ["Address", "Prefix", "component_key"]
 
 
 def _validate_components(components: Sequence[int]) -> Tuple[int, ...]:
@@ -36,6 +37,38 @@ def _validate_components(components: Sequence[int]) -> Tuple[int, ...]:
             raise AddressError(f"address component {component} is negative")
         out.append(component)
     return tuple(out)
+
+
+# Precomputed sort key for Address/Prefix: component_key(a) returns the
+# component tuple, so ``sorted(addresses, key=component_key)`` orders
+# exactly like ``sorted(addresses)`` but extracts the key once per
+# element instead of calling ``__lt__`` O(n log n) times.  Also valid
+# as a ``bisect`` key against an already-keyed list.  Bound to a
+# C-level attrgetter: the membership plane calls it tens of millions of
+# times per run, where a Python-level function frame is measurable.
+component_key = operator.attrgetter("_components")
+
+
+#: Process-wide intern table for prefixes built on trusted paths.  An
+#: Address's components are validated once at construction; every
+#: prefix sliced from them is therefore valid by construction and can
+#: skip re-validation.  Interning makes the depth-wise ``prefix(i)``
+#: objects shared across all addresses of a subgroup, so the detection
+#: loop's ``suspect.prefix(d) == own_subgroup`` checks usually resolve
+#: by identity.  The table only ever grows; the group's prefix universe
+#: is O(n) and bounded by the address space, so this is not a leak.
+_INTERNED: Dict[Tuple[int, ...], "Prefix"] = {}
+
+
+def _intern_prefix(components: Tuple[int, ...]) -> "Prefix":
+    """Trusted constructor: ``components`` must be a validated int tuple."""
+    prefix = _INTERNED.get(components)
+    if prefix is None:
+        prefix = Prefix.__new__(Prefix)
+        prefix._components = components
+        prefix._hash = hash((1, components))
+        _INTERNED[components] = prefix
+    return prefix
 
 
 class Prefix:
@@ -137,7 +170,7 @@ class Address:
     that the class can also represent free-standing IP-like addresses).
     """
 
-    __slots__ = ("_components", "_hash")
+    __slots__ = ("_components", "_hash", "_prefixes")
 
     def __init__(self, components: Sequence[int]):
         parts = _validate_components(components)
@@ -146,6 +179,10 @@ class Address:
         self._components = parts
         # See Prefix.__init__: precomputed, int-only, process-stable.
         self._hash = hash((2, parts))
+        # Lazily built tuple of interned prefixes, depth 1..d.  The
+        # membership plane asks for the same prefixes millions of times
+        # per run; an address is immutable, so they never change.
+        self._prefixes: Tuple[Prefix, ...] | None = None
 
     @property
     def components(self) -> Tuple[int, ...]:
@@ -167,16 +204,31 @@ class Address:
         Raises:
             AddressError: if ``depth`` is not in ``[1, d]``.
         """
-        if not 1 <= depth <= self.depth:
+        cached = self._prefixes
+        if cached is None:
+            cached = self.prefixes()
+        if not 1 <= depth <= len(cached):
             raise AddressError(
                 f"prefix depth {depth} out of range [1, {self.depth}]"
             )
-        return Prefix(self._components[: depth - 1])
+        return cached[depth - 1]
 
-    def prefixes(self) -> Iterator[Prefix]:
-        """Yield all prefixes of this address from depth 1 to depth d."""
-        for depth in range(1, self.depth + 1):
-            yield self.prefix(depth)
+    def prefixes(self) -> Tuple[Prefix, ...]:
+        """All prefixes of this address, depth 1 to depth d, as a tuple.
+
+        The tuple is memoized on the (immutable) address and its
+        elements are interned: every address of a subgroup returns the
+        *same* :class:`Prefix` objects, so equality checks between
+        prefixes of co-located addresses short-circuit on identity.
+        """
+        cached = self._prefixes
+        if cached is None:
+            components = self._components
+            cached = tuple(
+                _intern_prefix(components[:i]) for i in range(len(components))
+            )
+            self._prefixes = cached
+        return cached
 
     def component(self, index: int) -> int:
         """Return component ``x(index)`` using the paper's 1-based indexing."""
@@ -214,6 +266,12 @@ class Address:
         return len(self._components)
 
     def __eq__(self, other: object) -> bool:
+        # Exact-type check first: address equality runs millions of
+        # times per simulated round (set/dict probes, peer-identity
+        # guards), and ``type(x) is Address`` is a pointer compare
+        # where ``isinstance`` walks the MRO.
+        if type(other) is Address:
+            return self._components == other._components
         if not isinstance(other, Address):
             return NotImplemented
         return self._components == other._components

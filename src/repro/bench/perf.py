@@ -14,7 +14,13 @@ round loop actually exercises at paper scale (n ≈ 10 000, §5):
 * ``churn_refresh`` — the cost of join/leave view maintenance
   (:meth:`GroupRuntime._refresh_path`) under a churn burst;
 * ``match_cache`` — a content-based (subscription) workload reporting
-  the :class:`~repro.core.context.GossipContext` cache counters.
+  the :class:`~repro.core.context.GossipContext` cache counters;
+* ``membership_plane`` — membership + detection rounds at scale with
+  **zero in-flight events**: the pure §2.3 background cost (gossip-pull
+  exchanges, failure detection, a crash burst driving exclusion).  Its
+  digest folds in the membership-plane counters, so any change to
+  suspicion/exclusion/anti-entropy behavior — not just timing — is
+  caught by digest comparison against a recorded baseline.
 
 Every benchmark records wall-clock seconds and a ``digest`` of the
 observable outcome (delivered sets, report fields), so speedups can be
@@ -265,10 +271,11 @@ def bench_churn_refresh(
     )
     # Hold some addresses back so there is room to join.
     joiners = addresses[-churn_events:]
+    held_back = set(joiners)
     initial = {
         address: interest
         for address, interest in members.items()
-        if address not in set(joiners)
+        if address not in held_back
     }
     config = PmcastConfig(fanout=3, redundancy=3)
     runtime = _try_build_runtime(
@@ -282,12 +289,27 @@ def bench_churn_refresh(
     for address in joiners:
         runtime.leave(address)
     seconds = time.perf_counter() - started
+    # The digest pins the maintenance *outcome*: the surviving member
+    # set plus the timestamped view tables along a stable path (the
+    # table digests carry the logical clock, so a refresh that stamps
+    # differently — or skips a restamp — changes the digest).
+    witness = runtime.node(addresses[0])
+    view_lines = [
+        f"{d}:{sorted(witness.view(d).digest().items())}"
+        for d in range(1, depth + 1)
+    ]
+    digest = _sha1(
+        sorted(str(a) for a in runtime.tree.members())
+        + [str(runtime.size)]
+        + view_lines
+    )
     return {
         "members": len(initial),
         "churn_events": 2 * len(joiners),
         "seconds": round(seconds, 4),
         "per_event_ms": round(1000.0 * seconds / (2 * len(joiners)), 3),
         "final_size": runtime.size,
+        "digest": digest,
     }
 
 
@@ -306,10 +328,11 @@ def bench_match_cache(
         addresses, derive_rng(seed, "perf-subscriptions")
     )
     churners = addresses[-4:]
+    churner_set = set(churners)
     initial = {
         address: interest
         for address, interest in members.items()
-        if address not in set(churners)
+        if address not in churner_set
     }
     config = PmcastConfig(fanout=3, redundancy=3)
     registry = MetricsRegistry()
@@ -320,6 +343,7 @@ def bench_match_cache(
         return None
     started = time.perf_counter()
     digests: List[str] = []
+    idle_rounds: List[int] = []
     for index in range(events):
         event = Event(
             {"b": index % 7, "c": 25.0 + index, "z": 1000 * index},
@@ -332,7 +356,7 @@ def bench_match_cache(
             runtime.leave(churner)
         else:
             runtime.join(churner, members[churner])
-        runtime.run_until_idle(max_rounds=64)
+        idle_rounds.append(runtime.run_until_idle(max_rounds=64))
         digests.append(
             ",".join(str(a) for a in runtime.delivered_to(event))
         )
@@ -341,8 +365,100 @@ def bench_match_cache(
         "members": len(initial),
         "events": events,
         "seconds": round(seconds, 4),
+        "rounds_per_event": idle_rounds,
+        "rounds": sum(idle_rounds),
         "digest": _sha1(digests),
         "cache_stats": registry.snapshot().get("match_cache"),
+    }
+
+
+def bench_membership_plane(
+    arity: int, depth: int, seed: int, mode: str, rounds: int = 32
+) -> Optional[Dict[str, Any]]:
+    """Pure §2.3 background cost: membership + detection, zero events.
+
+    No event is ever published, so every measured cycle is gossip-pull
+    anti-entropy, contact recording, and failure detection — the cost
+    that every round pays whether or not anything is in flight.  A
+    small crash burst after a warmup drives the detection machinery end
+    to end (suspicion, quorum accusation, exclusion).
+
+    The digest folds in the crash victims' exclusion rounds, the final
+    live size, and the membership-plane counters (pulls, exclusions,
+    suspicion reports, accusations, convictions, exchanges, synced
+    exchanges, lines updated): a caching change that alters *any*
+    observable membership behavior — not just wall-clock — breaks the
+    digest against a recorded baseline.
+    """
+    space = AddressSpace.regular(arity, depth)
+    addresses = space.enumerate_regular(arity)
+    members = bernoulli_interests(
+        addresses, 0.25, derive_rng(seed, "perf-interests")
+    )
+    config = PmcastConfig(fanout=3, redundancy=3, min_rounds_per_depth=2)
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    runtime = _try_build_runtime(
+        members, config, SimConfig(seed=seed), mode, registry
+    )
+    if runtime is None:
+        return None
+    build_seconds = time.perf_counter() - started
+
+    warmup = max(2, rounds // 8)
+    victims = [addresses[1], addresses[len(addresses) // 2], addresses[-2]]
+    started = time.perf_counter()
+    runtime.run(warmup)
+    for victim in victims:
+        runtime.crash(victim)
+    runtime.run(rounds - warmup)
+    seconds = time.perf_counter() - started
+
+    snapshot = registry.snapshot()
+    membership = snapshot.get("membership", {})
+    detector = snapshot.get("detector", {})
+    gossip = snapshot.get("gossip_pull", {})
+    exclusions = {
+        str(victim): runtime.exclusion_round(victim) for victim in victims
+    }
+    # Counters default to 0: a counter nobody incremented may simply
+    # not exist in the snapshot, and whether a driver pre-registers it
+    # is an implementation detail the digest must not observe.
+    counter_lines = [
+        f"pulls={membership.get('pulls', 0)}",
+        f"exclusions={membership.get('exclusions', 0)}",
+        f"suspicion_reports={detector.get('suspicion_reports', 0)}",
+        f"accusations={detector.get('accusations', 0)}",
+        f"convictions={detector.get('convictions', 0)}",
+        f"exchanges={gossip.get('exchanges', 0)}",
+        f"synced_exchanges={gossip.get('synced_exchanges', 0)}",
+        f"lines_updated={gossip.get('lines_updated', 0)}",
+    ]
+    return {
+        "members": len(addresses),
+        "build_seconds": round(build_seconds, 4),
+        "seconds": round(seconds, 4),
+        "rounds": rounds,
+        "rounds_per_second": round(rounds / seconds, 2) if seconds else None,
+        "crashed": len(victims),
+        "exclusion_rounds": exclusions,
+        "final_size": runtime.size,
+        "pulls": membership.get("pulls"),
+        "synced_exchange_rate": round(
+            gossip.get("synced_exchanges", 0) / gossip.get("exchanges", 1), 4
+        )
+        if gossip.get("exchanges")
+        else None,
+        "membership_cost": {
+            key: value
+            for key, value in sorted(membership.items())
+            if isinstance(value, (int, float))
+        },
+        "digest": _sha1(
+            [f"{k}={exclusions[k]}" for k in sorted(exclusions)]
+            + [str(runtime.size)]
+            + counter_lines
+        ),
     }
 
 
@@ -413,6 +529,7 @@ _BENCHES = {
     "engine": bench_engine,
     "churn_refresh": bench_churn_refresh,
     "match_cache": bench_match_cache,
+    "membership_plane": bench_membership_plane,
     "sweep": bench_sweep,
 }
 
@@ -605,6 +722,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write a JSONL trace of a quick engine run "
         "(validate with `python -m repro.obs validate FILE`)",
     )
+    parser.add_argument(
+        "--profile",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="run the suite under cProfile and write the top-30 "
+        "functions (by cumulative and by internal time) to FILE; "
+        "wall-clock numbers in the JSON report are inflated by "
+        "profiling overhead and must not be compared against "
+        "unprofiled baselines",
+    )
     return parser
 
 
@@ -636,14 +764,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         if "faulted_round_loop" not in benches:
             benches.append("faulted_round_loop")
-    report = run_suite(
-        scale["arity"],
-        scale["depth"],
-        seed=args.seed,
-        modes=modes,
-        benches=benches,
-        jobs=args.jobs,
-    )
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report = run_suite(
+            scale["arity"],
+            scale["depth"],
+            seed=args.seed,
+            modes=modes,
+            benches=benches,
+            jobs=args.jobs,
+        )
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        for sort_key in ("cumulative", "tottime"):
+            stats.sort_stats(sort_key).print_stats(30)
+        with open(args.profile, "w", encoding="utf-8") as handle:
+            handle.write(buffer.getvalue())
+        report["profiled"] = True
+        print(f"wrote cProfile top-30 to {args.profile}")
+    else:
+        report = run_suite(
+            scale["arity"],
+            scale["depth"],
+            seed=args.seed,
+            modes=modes,
+            benches=benches,
+            jobs=args.jobs,
+        )
     if baseline is not None:
         _merge_baseline(report, baseline)
     if args.trace:

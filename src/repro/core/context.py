@@ -29,7 +29,7 @@ hazard the token scheme exists to avoid.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.core.rate import TableMatch, match_table
@@ -50,7 +50,10 @@ class CacheStats:
     ``table_*`` counts :meth:`GossipContext.table_match` lookups;
     ``verdict_*`` counts per-interest verdicts evaluated while filling
     table misses.  ``invalidations`` counts explicit invalidation calls
-    (global or per-table).
+    (global or per-table); ``invalidation_causes`` breaks the
+    membership-driven ones down by what triggered them (``join`` /
+    ``leave`` / ``crash`` / ``interest-update``), as reported via
+    :meth:`GossipContext.note_invalidation`.
     """
 
     table_hits: int = 0
@@ -58,6 +61,7 @@ class CacheStats:
     verdict_hits: int = 0
     verdict_misses: int = 0
     invalidations: int = 0
+    invalidation_causes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def table_hit_rate(self) -> float:
@@ -81,6 +85,7 @@ class CacheStats:
             "verdict_misses": self.verdict_misses,
             "verdict_hit_rate": round(self.verdict_hit_rate, 4),
             "invalidations": self.invalidations,
+            "invalidation_causes": dict(self.invalidation_causes),
         }
 
 
@@ -226,6 +231,18 @@ class GossipContext:
         """
         self._stats.invalidations += 1
         self._tables.pop(id(table), None)
+
+    def note_invalidation(self, cause: str) -> None:
+        """Attribute a membership-driven cache invalidation to a cause.
+
+        The runtime reports why it is refreshing views (``join`` /
+        ``leave`` / ``crash`` / ``interest-update``); the breakdown
+        surfaces in the ``match_cache`` registry snapshot so a run's
+        cache churn can be traced back to the churn plane driving it.
+        Purely observational: no cache entries are touched here.
+        """
+        causes = self._stats.invalidation_causes
+        causes[cause] = causes.get(cause, 0) + 1
 
     def forget_event(self, event_id: int) -> None:
         """Release all cache entries for a finished event.

@@ -14,9 +14,11 @@ suspected process from their views").
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+import bisect
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.addressing import Address
+from repro.addressing import Address, component_key
 from repro.errors import MembershipError
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
@@ -26,11 +28,42 @@ __all__ = ["FailureDetector", "SuspicionQuorum"]
 class FailureDetector:
     """Heartbeat-style detector over a process's immediate neighbors.
 
+    The suspect set is maintained *incrementally*: neighbors are
+    bucketed by last-contact time, and promotion sweeps whole buckets
+    as the query frontier passes them, instead of rescanning every
+    neighbor.  Buckets use *lazy deletion*: a re-contacted neighbor is
+    simply filed under its new time (one set-add into the current
+    round's bucket), and the stale entry is discarded at promotion by
+    checking it against the authoritative last-contact map — the hot
+    :meth:`record_contact` path does no bucket surgery.
+
+    Suspicion is encoded in the last-contact map itself: an alive
+    neighbor maps to its contact time ``t`` (clocks are non-negative
+    round counts), a suspect to ``~t`` (the one's complement, always
+    negative).  The encoding removes the separate suspect-set
+    membership test from both the contact path and the promotion
+    check; the sorted suspect materialization is lazy (memoized per
+    generation), and the ``near_key`` slice is kept sorted
+    incrementally by bisect.  With monotonically advancing queries
+    (the simulator's round clock) a :meth:`near_suspects` call is
+    O(promotions) — never a rescan, never a re-sort.  The
+    :attr:`generation` counter advances when the suspect set changes,
+    so callers can key their own caches on it (equal generations
+    guarantee an equal suspect set).
+
     Args:
         owner: the monitoring process.
         timeout: rounds of silence after which a neighbor is suspected.
         registry: optional metrics registry; the ``detector`` subsystem
             counts suspicion reports across every detector sharing it.
+        near_key: optional component-key prefix (the owner's leaf
+            subgroup).  When given, the detector additionally maintains
+            the subgroup-restricted slice of the suspect list so
+            :meth:`near_suspects` answers without any per-query
+            filtering — only *immediate neighbors* may feed exclusions
+            (§2.3), and refiltering the full list (dominated by
+            permanently silent far gossip partners) every round used to
+            dominate the detection round.
     """
 
     def __init__(
@@ -38,21 +71,41 @@ class FailureDetector:
         owner: Address,
         timeout: int,
         registry: MetricsRegistry = NULL_REGISTRY,
+        near_key: Optional[tuple] = None,
     ):
         if timeout < 1:
             raise MembershipError(f"timeout {timeout} must be >= 1")
         self._owner = owner
         self._timeout = timeout
+        self._near_key = tuple(near_key) if near_key is not None else None
+        self._near_len = len(near_key) if near_key is not None else 0
+        self._near_sorted: List[Address] = []
         self._suspicion_reports = registry.counter(
             "detector", "suspicion_reports"
         )
+        # neighbor -> last contact time t if alive, ~t if suspect.
         self._last_contact: Dict[Address, int] = {}
-        # A lower bound on min(last_contact values).  Contacts only
-        # raise values and unwatch only removes them, so the bound stays
-        # valid without per-contact maintenance; suspects() recomputes
-        # it lazily, making the common every-neighbor-is-fresh round
-        # O(1) instead of a full scan.
-        self._floor = 0
+        # last-contact time -> neighbors filed at that time, plus a
+        # min-heap of bucket times (each pushed once at bucket
+        # creation).  Entries are deleted *lazily*: a re-contacted
+        # neighbor stays filed under its old time too, and promotion
+        # drops any entry whose time no longer matches the
+        # authoritative ``_last_contact`` value (a suspect's encoded
+        # value is negative and can never match a filed time).
+        self._buckets: Dict[int, Set[Address]] = {}
+        self._heap: List[int] = []
+        # len of the suspect set = count of negative last-contact
+        # entries; the sorted materialization is lazy (memoized per
+        # generation) — :meth:`near_suspects`, the simulator's hot
+        # path, only ever needs the count and the near slice.
+        self._suspect_count = 0
+        self._sorted_memo: List[Address] = []
+        self._sorted_generation = 0
+        # Highest `now - timeout` this detector was queried with (None
+        # before the first query); the suspect encoding answers exactly
+        # {n : last_contact[n] < _frontier}.
+        self._frontier: Optional[int] = None
+        self._generation = 0
 
     @property
     def owner(self) -> Address:
@@ -64,18 +117,75 @@ class FailureDetector:
         """Rounds of silence before suspicion."""
         return self._timeout
 
+    @property
+    def generation(self) -> int:
+        """Advances exactly when the suspect set changes.
+
+        Key caches derived from :meth:`suspects` on this value: equal
+        generations guarantee an equal suspect set.
+        """
+        return self._generation
+
+    def _mark_suspect(self, neighbor: Address) -> None:
+        """Suspect-set bookkeeping (count, near slice, generation)."""
+        self._suspect_count += 1
+        near_key = self._near_key
+        if (
+            near_key is not None
+            and component_key(neighbor)[: self._near_len] == near_key
+        ):
+            bisect.insort(self._near_sorted, neighbor, key=component_key)
+        self._generation += 1
+
+    def _clear_suspect(self, neighbor: Address) -> None:
+        self._suspect_count -= 1
+        near_key = self._near_key
+        if (
+            near_key is not None
+            and component_key(neighbor)[: self._near_len] == near_key
+        ):
+            index = bisect.bisect_left(
+                self._near_sorted,
+                component_key(neighbor),
+                key=component_key,
+            )
+            del self._near_sorted[index]
+        self._generation += 1
+
+    def _file(self, neighbor: Address, now: int) -> None:
+        """File an alive neighbor under its (new) contact time."""
+        bucket = self._buckets.get(now)
+        if bucket is None:
+            self._buckets[now] = {neighbor}
+            heapq.heappush(self._heap, now)
+        else:
+            bucket.add(neighbor)
+
+    def _enroll(self, neighbor: Address, now: int) -> None:
+        """Start tracking a (re)appeared neighbor as of time ``now``."""
+        frontier = self._frontier
+        if frontier is not None and now < frontier:
+            # Back-dated relative to the last query: already stale.
+            self._last_contact[neighbor] = ~now
+            self._mark_suspect(neighbor)
+        else:
+            self._last_contact[neighbor] = now
+            self._file(neighbor, now)
+
     def watch(self, neighbor: Address, now: int) -> None:
         """Start monitoring a neighbor as of time ``now``."""
         if neighbor == self._owner:
             raise MembershipError("a process does not monitor itself")
         if neighbor not in self._last_contact:
-            self._last_contact[neighbor] = now
-            if now < self._floor:
-                self._floor = now
+            self._enroll(neighbor, now)
 
     def unwatch(self, neighbor: Address) -> None:
         """Stop monitoring (the neighbor left or was excluded)."""
-        self._last_contact.pop(neighbor, None)
+        previous = self._last_contact.pop(neighbor, None)
+        if previous is not None and previous < 0:
+            self._clear_suspect(neighbor)
+        # A bucket entry may remain; promotion discards it lazily (the
+        # last-contact lookup no longer matches its filed time).
 
     def record_contact(self, neighbor: Address, now: int) -> None:
         """Note that ``neighbor`` contacted us at time ``now``.
@@ -83,46 +193,185 @@ class FailureDetector:
         Contacts from unwatched processes start a watch implicitly —
         any gossip proves liveness.
         """
-        if neighbor == self._owner:
-            return
-        previous = self._last_contact.get(neighbor)
+        last_contact = self._last_contact
+        previous = last_contact.get(neighbor)
         if previous is None:
-            self._last_contact[neighbor] = now
-            if now < self._floor:
-                self._floor = now
-        elif now > previous:
-            self._last_contact[neighbor] = now
+            # Only an unseen neighbor can be the owner (the owner is
+            # never enrolled, so a hit in the map proves otherwise) —
+            # the equality check is paid on this branch alone instead
+            # of on every contact.  Enrollment is inlined: randomized
+            # far pulls make first-ever contacts a steady fraction of
+            # all contacts at paper scale, not a cold path.
+            if neighbor == self._owner:
+                return
+            frontier = self._frontier
+            if frontier is not None and now < frontier:
+                # Back-dated relative to the last query: already stale.
+                last_contact[neighbor] = ~now
+                self._mark_suspect(neighbor)
+            else:
+                last_contact[neighbor] = now
+                buckets = self._buckets
+                bucket = buckets.get(now)
+                if bucket is None:
+                    buckets[now] = {neighbor}
+                    heapq.heappush(self._heap, now)
+                else:
+                    bucket.add(neighbor)
+        elif previous >= 0:
+            # Alive: record and re-file.  (An alive neighbor's contact
+            # time is never behind the frontier — promotion would have
+            # claimed it — so no staleness check is needed, and the
+            # bucket filing is inlined: two contacts per pull per live
+            # member per round make a helper frame measurable.)
+            if now > previous:
+                last_contact[neighbor] = now
+                buckets = self._buckets
+                bucket = buckets.get(now)
+                if bucket is None:
+                    buckets[now] = {neighbor}
+                    heapq.heappush(self._heap, now)
+                else:
+                    bucket.add(neighbor)
+        elif now > ~previous:
+            frontier = self._frontier
+            if frontier is not None and now < frontier:
+                # Heard from again, but still past the timeout: stays
+                # a suspect, at the newer contact time.  Two generation
+                # ticks — the set left and re-entered suspicion.
+                last_contact[neighbor] = ~now
+                self._generation += 2
+            else:
+                last_contact[neighbor] = now
+                self._clear_suspect(neighbor)
+                self._file(neighbor, now)
 
     def watched(self) -> List[Address]:
         """Monitored neighbors, sorted."""
-        return sorted(self._last_contact)
+        return sorted(self._last_contact, key=component_key)
 
     def last_contact(self, neighbor: Address) -> int:
         """The last time ``neighbor`` was heard from."""
         try:
-            return self._last_contact[neighbor]
+            value = self._last_contact[neighbor]
         except KeyError:
             raise MembershipError(
                 f"{self._owner} does not monitor {neighbor}"
             ) from None
+        return value if value >= 0 else ~value
+
+    def _advance(self, target: int) -> None:
+        """Promote every bucket the frontier passed into the suspect set."""
+        heap, buckets = self._heap, self._buckets
+        last_contact = self._last_contact
+        while heap and heap[0] < target:
+            filed = heapq.heappop(heap)
+            for neighbor in buckets.pop(filed):
+                # Lazy deletion: only entries still matching the
+                # authoritative contact time are real promotions (an
+                # unwatched neighbor misses, a re-contacted one filed
+                # afresh, and a suspect's value is negative).
+                if last_contact.get(neighbor) == filed:
+                    last_contact[neighbor] = ~filed
+                    self._mark_suspect(neighbor)
+        self._frontier = target
+
+    def _near_suspects_core(self, now: int) -> Tuple[List[Address], int]:
+        """(near slice, full reportable count) — no counter side effects.
+
+        The simulator's detection round batches the suspicion-reports
+        counter across all detectors; :meth:`near_suspects` wraps this
+        with the per-call increment.
+        """
+        near_key = self._near_key
+        if near_key is None:
+            raise MembershipError(
+                f"{self._owner}'s detector was built without a near_key"
+            )
+        target = now - self._timeout
+        frontier = self._frontier
+        if frontier is None or target > frontier:
+            heap = self._heap
+            if heap and heap[0] < target:
+                self._advance(target)
+            else:
+                self._frontier = target
+        elif target < frontier:
+            # Backward query: answer statelessly (see suspects()).
+            near_len = self._near_len
+            full = self._stateless_suspects(now)
+            return (
+                [
+                    neighbor
+                    for neighbor in full
+                    if component_key(neighbor)[:near_len] == near_key
+                ],
+                len(full),
+            )
+        return self._near_sorted, self._suspect_count
+
+    def near_suspects(self, now: int) -> List[Address]:
+        """The same-subgroup slice of :meth:`suspects`, pre-filtered.
+
+        Counting semantics are identical to :meth:`suspects` — the
+        suspicion-reports counter reflects the *full* suspect list —
+        only the returned list is restricted to neighbors matching the
+        ``near_key`` prefix.  Requires construction with ``near_key``.
+        Shared with internal state — treat it as read-only.
+        """
+        out, count = self._near_suspects_core(now)
+        if count:
+            self._suspicion_reports.inc(count)
+        return out
+
+    def _stateless_suspects(self, now: int) -> List[Address]:
+        """Suspects for a backward query, without touching the frontier."""
+        timeout = self._timeout
+        return sorted(
+            (
+                neighbor
+                for neighbor, value in self._last_contact.items()
+                if now - (value if value >= 0 else ~value) > timeout
+            ),
+            key=component_key,
+        )
 
     def suspects(self, now: int) -> List[Address]:
-        """Neighbors silent for more than the timeout, sorted."""
-        if not self._last_contact:
-            return []
-        if now - self._floor <= self._timeout:
-            return []
-        # The bound is stale (or someone really is silent): tighten it
-        # to the true minimum, then scan only if suspicion persists.
-        self._floor = min(self._last_contact.values())
-        if now - self._floor <= self._timeout:
-            return []
-        out = sorted(
-            neighbor
-            for neighbor, last in self._last_contact.items()
-            if now - last > self._timeout
-        )
-        self._suspicion_reports.inc(len(out))
+        """Neighbors silent for more than the timeout, sorted.
+
+        The returned list is shared with the internal sorted suspect
+        list — treat it as read-only.
+        """
+        target = now - self._timeout  # suspect iff last_contact < target
+        frontier = self._frontier
+        if frontier is None or target > frontier:
+            heap = self._heap
+            if heap and heap[0] < target:
+                self._advance(target)
+            else:
+                self._frontier = target
+        elif target < frontier:
+            # The clock went backwards relative to the frontier (never
+            # the simulator; only ad-hoc queries).  Answer statelessly
+            # so the incremental state keeps tracking the frontier.
+            out = self._stateless_suspects(now)
+            if out:
+                self._suspicion_reports.inc(len(out))
+            return out
+        generation = self._generation
+        if self._sorted_generation != generation:
+            self._sorted_memo = sorted(
+                (
+                    neighbor
+                    for neighbor, value in self._last_contact.items()
+                    if value < 0
+                ),
+                key=component_key,
+            )
+            self._sorted_generation = generation
+        out = self._sorted_memo
+        if out:
+            self._suspicion_reports.inc(len(out))
         return out
 
 
@@ -152,7 +401,11 @@ class SuspicionQuorum:
 
     def accuse(self, suspect: Address, accuser: Address) -> bool:
         """Register a suspicion; True once the quorum is reached."""
-        accusers = self._accusers.setdefault(suspect, set())
+        accusers = self._accusers.get(suspect)
+        if accusers is None:
+            # Not setdefault: that would allocate a throwaway set on
+            # every repeat accusation, the hot case under flapping.
+            accusers = self._accusers[suspect] = set()
         if accuser not in accusers:
             accusers.add(accuser)
             self._accusations.inc()

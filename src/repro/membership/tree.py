@@ -28,7 +28,7 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
-from repro.addressing import Address, Prefix
+from repro.addressing import Address, Prefix, component_key
 from repro.errors import ElectionError, MembershipError
 from repro.interests.subscriptions import Interest
 
@@ -36,7 +36,12 @@ __all__ = ["MembershipTree"]
 
 
 class _SubtreeIndex:
-    """Sorted member addresses per prefix, maintained incrementally."""
+    """Sorted member addresses per prefix, maintained incrementally.
+
+    The list is kept sorted by :func:`component_key` — the same order
+    as plain ``sorted()`` over addresses, but the bisect probes compare
+    precomputed int tuples instead of calling ``Address.__lt__``.
+    """
 
     __slots__ = ("members",)
 
@@ -44,10 +49,12 @@ class _SubtreeIndex:
         self.members: List[Address] = []
 
     def add(self, address: Address) -> None:
-        bisect.insort(self.members, address)
+        bisect.insort(self.members, address, key=component_key)
 
     def remove(self, address: Address) -> None:
-        index = bisect.bisect_left(self.members, address)
+        index = bisect.bisect_left(
+            self.members, component_key(address), key=component_key
+        )
         if index >= len(self.members) or self.members[index] != address:
             raise MembershipError(f"{address} is not in this subtree")
         del self.members[index]

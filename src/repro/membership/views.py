@@ -30,7 +30,7 @@ import itertools
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.addressing import Address, Prefix
+from repro.addressing import Address, Prefix, component_key
 from repro.errors import MembershipError
 from repro.interests.events import Event
 from repro.interests.subscriptions import Interest
@@ -97,6 +97,7 @@ class ViewTable:
         "_tree_depth",
         "_rows",
         "_token",
+        "_addr_token",
         "_memo_rows",
         "_memo_entries",
         "_memo_addresses",
@@ -125,6 +126,7 @@ class ViewTable:
                 )
             self._rows[row.infix] = row
         self._token = next(_TOKENS)
+        self._addr_token = next(_TOKENS)
         self._clear_memos()
 
     def _clear_memos(self) -> None:
@@ -150,6 +152,19 @@ class ViewTable:
         aliasing cache entries.
         """
         return self._token
+
+    @property
+    def addresses_token(self) -> int:
+        """Structure-only version number: advances iff the table's
+        infix -> delegates mapping changes.
+
+        Anti-entropy restamps timestamps constantly, advancing
+        :attr:`cache_token` without changing *who* is in the table.
+        Caches of the membership structure (:meth:`addresses`, peer
+        candidate pools) key on this token instead and survive the
+        churn.  Same never-reused guarantee as :attr:`cache_token`.
+        """
+        return self._addr_token
 
     @property
     def prefix(self) -> Prefix:
@@ -208,13 +223,25 @@ class ViewTable:
 
     def upsert(self, row: ViewRow) -> None:
         """Insert or replace the line for ``row.infix``."""
+        old = self._rows.get(row.infix)
         self._rows[row.infix] = row
-        self._touch()
+        if old is not None and old.delegates == row.delegates:
+            # Same structure (a restamp or interest refresh): keep the
+            # memos that depend only on infix -> delegates.
+            memo_addresses = self._memo_addresses
+            memo_entry_count = self._memo_entry_count
+            self._touch()
+            self._memo_addresses = memo_addresses
+            self._memo_entry_count = memo_entry_count
+        else:
+            self._touch()
+            self._addr_token = next(_TOKENS)
 
     def discard(self, infix: int) -> None:
         """Drop the line for ``infix`` if present (leave/failure)."""
         if self._rows.pop(infix, None) is not None:
             self._touch()
+            self._addr_token = next(_TOKENS)
 
     def replace_rows(self, rows: Sequence[ViewRow]) -> None:
         """Swap in a whole new set of lines (incremental view refresh).
@@ -222,7 +249,9 @@ class ViewTable:
         Content-equivalent to building a fresh table, but keeps the
         object identity — every node holding this table sees the new
         rows without being re-wired.  The :attr:`cache_token` advances,
-        so token-keyed caches treat the result as a brand-new table.
+        so token-keyed caches treat the result as a brand-new table;
+        :attr:`addresses_token` advances only if the infix -> delegates
+        structure actually changed.
         """
         fresh: Dict[int, ViewRow] = {}
         for row in rows:
@@ -231,8 +260,21 @@ class ViewTable:
                     f"duplicate infix {row.infix} in view of {self._prefix}"
                 )
             fresh[row.infix] = row
+        current = self._rows
+        same_structure = len(fresh) == len(current) and all(
+            infix in current and current[infix].delegates == row.delegates
+            for infix, row in fresh.items()
+        )
         self._rows = fresh
-        self._touch()
+        if same_structure:
+            memo_addresses = self._memo_addresses
+            memo_entry_count = self._memo_entry_count
+            self._touch()
+            self._memo_addresses = memo_addresses
+            self._memo_entry_count = memo_entry_count
+        else:
+            self._touch()
+            self._addr_token = next(_TOKENS)
 
     def entries(self) -> List[Tuple[Address, ViewRow]]:
         """Flattened gossip targets: every delegate with its row.
@@ -255,7 +297,7 @@ class ViewTable:
         if self._memo_addresses is None:
             out: List[Address] = []
             for row in self.rows():
-                out.extend(sorted(row.delegates))
+                out.extend(sorted(row.delegates, key=component_key))
             self._memo_addresses = out
         return self._memo_addresses
 

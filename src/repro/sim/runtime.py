@@ -13,10 +13,11 @@ every round, alongside the Figure 3 event gossip,
   alive ("every process keeps track of the last time it was contacted
   by its most immediate neighbor processes");
 * when every live neighbor of a silent process has been suspecting it
-  past the timeout (the §6 leaf-subgroup *agreement* hardening, via
-  :class:`~repro.membership.failure_detector.SuspicionQuorum`), the
-  process is **excluded**: removed from the membership and from the
-  views along its prefix path.
+  past the timeout (the §6 leaf-subgroup *agreement* hardening — the
+  runtime keeps the per-suspect accuser sets of
+  :class:`~repro.membership.failure_detector.SuspicionQuorum` in
+  flattened form), the process is **excluded**: removed from the
+  membership and from the views along its prefix path.
 
 Processes crash silently through :meth:`GroupRuntime.crash`; the
 runtime exposes how long detection and exclusion took, and publishes
@@ -39,7 +40,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.addressing import Address, Prefix
+from repro.addressing import Address, Prefix, component_key
 from repro.config import PmcastConfig, SimConfig
 from repro.core.context import GossipContext
 from repro.core.messages import Envelope
@@ -49,8 +50,15 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.interests.events import Event
 from repro.interests.subscriptions import Interest
-from repro.membership.failure_detector import FailureDetector, SuspicionQuorum
-from repro.membership.gossip_pull import MembershipState, exchange
+from repro.membership.failure_detector import FailureDetector
+from repro.membership.gossip_pull import (
+    _ADDR_TOKENS,
+    _CACHE_TOKENS,
+    MembershipState,
+    _find_group,
+    _pull,
+    exchange,
+)
 from repro.membership.knowledge import build_view, refreshed_rows
 from repro.membership.tree import MembershipTree
 from repro.membership.views import ViewTable
@@ -128,7 +136,22 @@ class GroupRuntime:
         self._nodes: Dict[Address, PmcastNode] = {}
         self._replicas: Dict[Address, MembershipState] = {}
         self._detectors: Dict[Address, FailureDetector] = {}
-        self._quorums: Dict[Address, SuspicionQuorum] = {}
+        # Suspicion quorums, flattened (paper §6): per-suspect accuser
+        # sets plus the quorum size captured when a suspect was first
+        # accused.  Semantically a Dict[Address, SuspicionQuorum], but
+        # the round loops touch these maps per pull and per suspicion —
+        # plain dicts skip a method dispatch and an inner-dict hop on
+        # every one of those operations.  An accuser-set entry is
+        # dropped when its last accusation is retracted; the captured
+        # quorum size persists until the suspect leaves or is excluded,
+        # exactly like the per-suspect quorum objects did.
+        self._accusers: Dict[Address, Set[Address]] = {}
+        self._quorum_required: Dict[Address, int] = {}
+        # Materialized with the first accusation — parity with the lazy
+        # SuspicionQuorum construction this replaces, so registry
+        # snapshots show the counters in exactly the same runs.
+        self._m_accusations = None
+        self._m_convictions = None
         self._excluded_at: Dict[Address, int] = {}
         self._crashed: Set[Address] = set()
         self._crashed_at: Dict[Address, int] = {}
@@ -141,14 +164,20 @@ class GroupRuntime:
         self._wire_seq = 0
         # Derived-state caches, all dropped by _membership_changed():
         # the member list snapshot, per-member live-neighbor lists, and
-        # per-member far-peer lists (the latter also keyed on the
-        # replica version, since anti-entropy changes it mid-run).
+        # per-member far-peer lists (the latter also validated against
+        # the replica's structure stamp, since anti-entropy changes the
+        # known peer set mid-run).
         self._membership_epoch = 0
         self._members_cache: Optional[List[Address]] = None
         self._neighbors_cache: Dict[Address, List[Address]] = {}
-        self._far_cache: Dict[
-            Address, Tuple[Tuple[int, Tuple[int, ...]], List[Address]]
-        ] = {}
+        self._far_cache: Dict[Address, Tuple[int, List[Address]]] = {}
+        # Addresses whose replica was torn down by leave() and never
+        # re-wired.  Every address a table can mention was wired once
+        # (tables only describe members), so "peer has a live replica"
+        # is exactly "peer not in _unwired" — and while this set is
+        # empty (no leaves in flight) the far-peer pool filter is the
+        # identity and the peers() list is shared outright.
+        self._unwired: Set[Address] = set()
         self._obs = observer if observer is not None else NULL_OBSERVER
         self._reg = self._obs.registry
         self._m_rounds = self._reg.counter("runtime", "rounds")
@@ -162,10 +191,30 @@ class GroupRuntime:
         self._m_crashes = self._reg.counter("membership", "crashes")
         self._m_exclusions = self._reg.counter("membership", "exclusions")
         self._m_pulls = self._reg.counter("membership", "pulls")
+        self._m_interest_updates = self._reg.counter(
+            "membership", "interest_updates"
+        )
         self._m_refreshes = self._reg.counter("views", "path_refreshes")
         self._m_tables = self._reg.counter("views", "tables_refreshed")
         self._h_exclusion = self._reg.histogram(
             "detector", "exclusion_latency_rounds"
+        )
+        # Per-round membership-plane cost visibility: how often the
+        # far-peer pools are reused vs rebuilt.  These never enter
+        # benchmark digests (they are new observability, not protocol
+        # behavior).
+        self._m_far_hits = self._reg.counter("membership", "far_cache_hits")
+        self._m_far_misses = self._reg.counter(
+            "membership", "far_cache_misses"
+        )
+        # The membership round performs two exchanges per live member
+        # per round; prefetch the gossip_pull counters once instead of
+        # paying a registry lookup per exchange (same counters, same
+        # counting semantics).
+        self._x_counters = (
+            self._reg.counter("gossip_pull", "exchanges"),
+            self._reg.counter("gossip_pull", "synced_exchanges"),
+            self._reg.counter("gossip_pull", "lines_updated"),
         )
         self._reg.register_collector(
             "runtime",
@@ -201,6 +250,12 @@ class GroupRuntime:
             self._wire(address)
         for address in self._tree.members():
             self._watch_neighbors(address)
+        # Fetched after wiring: every detector's constructor already
+        # materialized this counter, so this is a pure lookup — the
+        # detection round batches suspicion reports into it per round.
+        self._m_suspicion_reports = self._reg.counter(
+            "detector", "suspicion_reports"
+        )
 
     # -- inspection -------------------------------------------------------
 
@@ -291,7 +346,7 @@ class GroupRuntime:
         self._crashed.add(address)
         self._crashed_at[address] = self._round
         self._active.discard(address)
-        self._membership_changed()
+        self._membership_changed(address)
         self._m_crashes.inc()
         self._obs.emit(self._round, "crash", address)
 
@@ -311,7 +366,7 @@ class GroupRuntime:
         self._tree.add(address, interest)
         self._m_joins.inc()
         self._obs.emit(self._round, "join", address)
-        self._refresh_path(address)
+        self._refresh_path(address, cause="join")
         self._wire(address)
         self._watch_neighbors(address)
         for neighbor in self._live_neighbors(address):
@@ -327,14 +382,37 @@ class GroupRuntime:
         self._crashed.discard(address)
         self._crashed_at.pop(address, None)
         self._nodes.pop(address, None)
-        self._replicas.pop(address, None)
+        if self._replicas.pop(address, None) is not None:
+            self._unwired.add(address)
         self._detectors.pop(address, None)
-        self._quorums.pop(address, None)
+        self._accusers.pop(address, None)
+        self._quorum_required.pop(address, None)
         self._active.discard(address)
         self._node_seq.pop(address, None)
-        self._refresh_path(address)
+        self._refresh_path(address, cause="leave")
         for detector in self._detectors.values():
             detector.unwatch(address)
+
+    def update_interest(self, address: Address, interest: Interest) -> None:
+        """Re-subscribe a live member (§2.3 "subscriptions and
+        unsubscriptions are updates of the membership information").
+
+        The tree records the new interest, the member's node matches
+        future events against it, and the tables along its prefix path
+        are refreshed in place — the regrouped subtree interests near
+        the root absorb the change, exactly as a converged
+        re-subscription would.  Mirrors :meth:`join`/:meth:`leave`:
+        no other member is touched.
+        """
+        if address not in self._tree:
+            raise SimulationError(f"{address} is not a member")
+        node = self._nodes[address]
+        if not node.alive:
+            raise SimulationError(f"{address} has crashed")
+        self._tree.update_interest(address, interest)
+        node.update_interest(interest)
+        self._m_interest_updates.inc()
+        self._refresh_path(address, cause="interest-update")
 
     # -- the round loop -------------------------------------------------------
 
@@ -498,9 +576,16 @@ class GroupRuntime:
                 address,
                 {depth: table.clone() for depth, table in views.items()},
             )
+            self._unwired.discard(address)
         if address not in self._detectors:
+            # near_key: the leaf-subgroup component prefix — §2.3 only
+            # lets immediate neighbors feed exclusions, so the detector
+            # maintains that slice of its suspect list incrementally.
             self._detectors[address] = FailureDetector(
-                address, self._detector_timeout, registry=self._reg
+                address,
+                self._detector_timeout,
+                registry=self._reg,
+                near_key=component_key(address)[: self._tree.depth - 1],
             )
 
     def _watch_neighbors(self, address: Address) -> None:
@@ -514,15 +599,38 @@ class GroupRuntime:
         detector = self._detectors.get(owner)
         if detector is not None:
             detector.record_contact(sender, now=self._round)
-            quorum = self._quorums.get(sender)
-            if quorum is not None:
-                quorum.retract(sender, owner)
+            accusers = self._accusers.get(sender)
+            if accusers is not None:
+                accusers.discard(owner)
+                if not accusers:
+                    del self._accusers[sender]
 
-    def _membership_changed(self) -> None:
-        """Drop every cache derived from membership or liveness."""
+    def _membership_changed(self, address: Optional[Address] = None) -> None:
+        """Drop every cache derived from membership or liveness.
+
+        ``address``, when given, is the member whose join, leave, crash
+        or exclusion caused the change.  A liveness-neighbor list only
+        depends on its leaf subgroup, so only the changed member's
+        subgroup entries are invalidated — rebuilding all n lists after
+        every crash used to be a visible slice of paper-scale runs.
+        ``None`` drops the whole cache.
+        """
         self._membership_epoch += 1
         self._members_cache = None
-        self._neighbors_cache.clear()
+        neighbors_cache = self._neighbors_cache
+        if address is None:
+            neighbors_cache.clear()
+        elif neighbors_cache:
+            neighbors_cache.pop(address, None)
+            for member in self._tree.subtree_members(
+                address.prefix(self._tree.depth)
+            ):
+                neighbors_cache.pop(member, None)
+        # Cleared rather than epoch-keyed: the far-peer entries can
+        # then validate against a single int stamp in the round loop.
+        # (Always wholesale: the pools filter on global liveness, not
+        # on the subgroup.)
+        self._far_cache.clear()
 
     def _members(self) -> List[Address]:
         """The member list, cached between membership changes.
@@ -548,51 +656,225 @@ class GroupRuntime:
             self._neighbors_cache[address] = cached
         return cached
 
-    def _far_peers(
-        self, address: Address, replica: MembershipState
-    ) -> List[Address]:
-        """The member's live far gossip candidates, cached.
-
-        The list depends on the replica's tables (which anti-entropy
-        mutates) and on membership/liveness, so the cache entry carries
-        both the replica version and the membership epoch.
-        """
-        key = (self._membership_epoch, replica.version())
-        cached = self._far_cache.get(address)
-        if cached is not None and cached[0] == key:
-            return cached[1]
-        far = [
-            peer
-            for peer in replica.peers()
-            if peer in self._replicas and peer not in self._crashed
-        ]
-        self._far_cache[address] = (key, far)
-        return far
-
     def _membership_round(self) -> None:
-        """Dedicated membership gossips: one near pull, one far pull."""
+        """Dedicated membership gossips: one near pull, one far pull.
+
+        This is the simulator's hottest loop at paper scale, and it is
+        written accordingly:
+
+        * rng.choice(seq) is exactly ``seq[rng._randbelow(len(seq))]``
+          (CPython's implementation); drawing through ``_randbelow``
+          keeps the RNG stream bit-identical while skipping a Python
+          frame per draw.
+        * The synced-exchange fast path of
+          :func:`~repro.membership.gossip_pull.exchange` is inlined:
+          the content stamps feed the sync-group check here, and only a
+          miss pays the :func:`~repro.membership.gossip_pull._pull`
+          call.  The gossiper's stamp is computed once per member and
+          reused for the far pull unless the near pull installed rows.
+        * The far-peer pool lookup is inlined and validated against the
+          replica's structure-only stamp (timestamp churn never rebuilds
+          it); ``_membership_changed`` clears the cache wholesale.
+        * Counters accumulate in local ints, flushed once per round —
+          identical totals, no per-pull ``inc`` dispatch.
+        * Each pull is a bidirectional contact (the peer answered); the
+          contact recording and accusation retractions are inlined from
+          ``_record_contact``, and the body is duplicated for the near
+          and far draw instead of looping over a candidates list.
+        """
+        randbelow = self._membership_rng._randbelow
+        replicas = self._replicas
+        crashed = self._crashed
+        unwired = self._unwired
+        tracing = self._obs.tracing
+        detectors = self._detectors
+        detectors_get = detectors.get
+        accusers_map = self._accusers
+        accusers_get = accusers_map.get
+        far_cache = self._far_cache
+        far_cache_get = far_cache.get
+        neighbors_get = self._neighbors_cache.get
+        now = self._round
+        n_pulls = n_exchanges = n_synced = n_lines = 0
+        n_far_hits = n_far_misses = 0
         for address in self._members():
-            if address in self._crashed:
+            if address in crashed:
                 continue
-            replica = self._replicas[address]
-            near = self._live_neighbors(address)
-            candidates: List[Address] = []
-            if near:
-                candidates.append(self._membership_rng.choice(near))
-            far = self._far_peers(address, replica)
-            if far:
-                candidates.append(self._membership_rng.choice(far))
-            for peer in candidates:
-                updated = exchange(replica, self._replicas[peer], self._reg)
-                self._m_pulls.inc()
-                if self._obs.tracing:
+            replica = replicas[address]
+            near = neighbors_get(address)
+            if near is None:
+                near = self._live_neighbors(address)
+            peer_near = near[randbelow(len(near))] if near else None
+            # Far-peer pool: live peers from the replica's own tables.
+            structure = replica._struct_hint
+            if structure is None:
+                structure = sum(map(_ADDR_TOKENS, replica._seq))
+                replica._struct_hint = structure
+            entry = far_cache_get(address)
+            if entry is not None and entry[0] == structure:
+                far = entry[1]
+                n_far_hits += 1
+            else:
+                # "peer has a replica" == "peer not in _unwired" (see
+                # __init__); with no leave in flight and nobody crashed
+                # the filter is the identity and the peers() list is
+                # shared outright — it is replaced, never mutated, on
+                # change, and this entry is dropped with it.
+                peers = replica.peers()
+                if crashed:
+                    if unwired:
+                        far = [
+                            peer
+                            for peer in peers
+                            if peer not in unwired and peer not in crashed
+                        ]
+                    else:
+                        far = [
+                            peer for peer in peers if peer not in crashed
+                        ]
+                elif unwired:
+                    far = [peer for peer in peers if peer not in unwired]
+                else:
+                    far = peers
+                far_cache[address] = (structure, far)
+                n_far_misses += 1
+            peer_far = far[randbelow(len(far))] if far else None
+            if peer_near is None and peer_far is None:
+                continue
+            detector = detectors_get(address)
+            g_stamp = replica._stamp_hint
+            if g_stamp is None:
+                g_stamp = sum(map(_CACHE_TOKENS, replica._seq))
+                replica._stamp_hint = g_stamp
+            if peer_near is not None:
+                peer = peer_near
+                n_pulls += 1
+                n_exchanges += 1
+                peer_state = replicas[peer]
+                p_stamp = peer_state._stamp_hint
+                if p_stamp is None:
+                    p_stamp = sum(map(_CACHE_TOKENS, peer_state._seq))
+                    peer_state._stamp_hint = p_stamp
+                g_sync = replica._sync_group
+                p_sync = peer_state._sync_group
+                if (
+                    g_sync is not None
+                    and p_sync is not None
+                    and g_sync[1] == g_stamp
+                    and p_sync[1] == p_stamp
+                    and (
+                        g_sync[0] == p_sync[0]
+                        or _find_group(g_sync[0]) == _find_group(p_sync[0])
+                    )
+                ):
+                    updated = 0
+                    n_synced += 1
+                else:
+                    updated = _pull(replica, peer_state, g_stamp, p_stamp)
+                    if updated < 0:
+                        updated = 0
+                        n_synced += 1
+                    elif updated:
+                        n_lines += updated
+                        # The pull installed rows: the cached gossiper
+                        # stamp is stale for the far pull below.
+                        g_stamp = sum(map(_CACHE_TOKENS, replica._seq))
+                        replica._stamp_hint = g_stamp
+                if tracing:
                     self._obs.emit(
                         self._round, "pull", address, peer=peer,
                         value=updated,
                     )
-                # A pull is bidirectional contact: the peer answered.
-                self._record_contact(address, peer)
-                self._record_contact(peer, address)
+                if detector is not None:
+                    detector.record_contact(peer, now)
+                peer_detector = detectors_get(peer)
+                if peer_detector is not None:
+                    peer_detector.record_contact(address, now)
+                if accusers_map:
+                    # Retractions only matter while accusations are
+                    # outstanding — the map is empty in steady state,
+                    # and one truthiness check replaces two lookups.
+                    if detector is not None:
+                        accusers = accusers_get(peer)
+                        if accusers is not None:
+                            accusers.discard(address)
+                            if not accusers:
+                                del accusers_map[peer]
+                    if peer_detector is not None:
+                        accusers = accusers_get(address)
+                        if accusers is not None:
+                            accusers.discard(peer)
+                            if not accusers:
+                                del accusers_map[address]
+            if peer_far is not None:
+                peer = peer_far
+                n_pulls += 1
+                n_exchanges += 1
+                peer_state = replicas[peer]
+                p_stamp = peer_state._stamp_hint
+                if p_stamp is None:
+                    p_stamp = sum(map(_CACHE_TOKENS, peer_state._seq))
+                    peer_state._stamp_hint = p_stamp
+                g_sync = replica._sync_group
+                p_sync = peer_state._sync_group
+                if (
+                    g_sync is not None
+                    and p_sync is not None
+                    and g_sync[1] == g_stamp
+                    and p_sync[1] == p_stamp
+                    and (
+                        g_sync[0] == p_sync[0]
+                        or _find_group(g_sync[0]) == _find_group(p_sync[0])
+                    )
+                ):
+                    updated = 0
+                    n_synced += 1
+                else:
+                    updated = _pull(replica, peer_state, g_stamp, p_stamp)
+                    if updated < 0:
+                        updated = 0
+                        n_synced += 1
+                    elif updated:
+                        n_lines += updated
+                if tracing:
+                    self._obs.emit(
+                        self._round, "pull", address, peer=peer,
+                        value=updated,
+                    )
+                if detector is not None:
+                    detector.record_contact(peer, now)
+                peer_detector = detectors_get(peer)
+                if peer_detector is not None:
+                    peer_detector.record_contact(address, now)
+                if accusers_map:
+                    # Retractions only matter while accusations are
+                    # outstanding — the map is empty in steady state,
+                    # and one truthiness check replaces two lookups.
+                    if detector is not None:
+                        accusers = accusers_get(peer)
+                        if accusers is not None:
+                            accusers.discard(address)
+                            if not accusers:
+                                del accusers_map[peer]
+                    if peer_detector is not None:
+                        accusers = accusers_get(address)
+                        if accusers is not None:
+                            accusers.discard(peer)
+                            if not accusers:
+                                del accusers_map[address]
+        if n_pulls:
+            self._m_pulls.inc(n_pulls)
+        counters = self._x_counters
+        if n_exchanges:
+            counters[0].inc(n_exchanges)
+        if n_synced:
+            counters[1].inc(n_synced)
+        if n_lines:
+            counters[2].inc(n_lines)
+        if n_far_hits:
+            self._m_far_hits.inc(n_far_hits)
+        if n_far_misses:
+            self._m_far_misses.inc(n_far_misses)
 
     def _detection_round(self) -> None:
         """Collect suspicions; exclude once the quorum concurs.
@@ -600,37 +882,85 @@ class GroupRuntime:
         Only *immediate neighbors* accuse (§2.3 monitors "its most
         immediate neighbor processes"): a detector may hold stale
         last-contact entries for distant peers it merely gossiped with
-        once, and those must not feed exclusions.
+        once, and those must not feed exclusions.  Each detector
+        maintains the same-subgroup slice of its suspect list
+        incrementally (``near_key``), so no per-round filtering happens
+        here at all — far peers that went permanently silent dominate
+        the raw suspect list and refiltering them every round used to
+        dominate the whole round loop.
         """
-        depth = self._tree.depth
+        tracing = self._obs.tracing
+        detectors = self._detectors
+        accusers_map = self._accusers
+        accusers_get = accusers_map.get
+        required_map = self._quorum_required
+        crashed = self._crashed
+        now = self._round
+        # tree.__contains__ is a Python-level frame; the accusation
+        # loop runs it for every (monitor, suspect) pair per round.
+        in_tree = self._tree._interests.__contains__
+        n_accusations = n_convictions = 0
+        n_reports = 0
+        target = now - self._detector_timeout
         for address in self._members():
-            if address in self._crashed:
+            if address in crashed:
                 continue
-            detector = self._detectors[address]
-            own_subgroup = address.prefix(depth)
-            for suspect in detector.suspects(self._round):
-                if suspect not in self._tree or suspect == address:
+            detector = detectors[address]
+            # Inlined fast path of _near_suspects_core: the round clock
+            # is monotone, so the frontier only ever moves forward and
+            # almost never has a bucket to promote.  Anything else
+            # (fresh detector, backward ad-hoc query) delegates.
+            frontier = detector._frontier
+            if frontier is not None and target > frontier:
+                heap = detector._heap
+                if heap and heap[0] < target:
+                    detector._advance(target)
+                else:
+                    detector._frontier = target
+                filtered = detector._near_sorted
+                n_reports += detector._suspect_count
+            else:
+                filtered, reportable = detector._near_suspects_core(now)
+                n_reports += reportable
+            for suspect in filtered:
+                if not in_tree(suspect):
                     continue
-                if suspect.prefix(depth) != own_subgroup:
-                    continue
-                quorum = self._quorums.get(suspect)
-                if quorum is None:
-                    required = self._exclusion_quorum or max(
-                        len(self._live_neighbors(suspect)), 1
-                    )
-                    quorum = SuspicionQuorum(required, registry=self._reg)
-                    self._quorums[suspect] = quorum
-                convicted = quorum.accuse(suspect, address)
-                if self._obs.tracing:
+                accusers = accusers_get(suspect)
+                if accusers is None:
+                    accusers = accusers_map[suspect] = set()
+                    if suspect not in required_map:
+                        required_map[suspect] = self._exclusion_quorum or max(
+                            len(self._live_neighbors(suspect)), 1
+                        )
+                    if self._m_accusations is None:
+                        self._m_accusations = self._reg.counter(
+                            "detector", "accusations"
+                        )
+                        self._m_convictions = self._reg.counter(
+                            "detector", "convictions"
+                        )
+                if address not in accusers:
+                    accusers.add(address)
+                    n_accusations += 1
+                convicted = len(accusers) >= required_map[suspect]
+                if convicted:
+                    n_convictions += 1
+                if tracing:
                     self._obs.emit(
                         self._round, "suspect", address, peer=suspect,
-                        value=quorum.accusation_count(suspect),
+                        value=len(accusers),
                     )
                 if convicted:
                     self._exclude(suspect)
                     break
+        if n_reports:
+            self._m_suspicion_reports.inc(n_reports)
+        if n_accusations:
+            self._m_accusations.inc(n_accusations)
+        if n_convictions:
+            self._m_convictions.inc(n_convictions)
 
-    def _refresh_path(self, address: Address) -> None:
+    def _refresh_path(self, address: Address, cause: str) -> None:
         """Refresh the tables on a changed prefix path, in place.
 
         Every table on the path is brought to the content a full
@@ -642,14 +972,19 @@ class GroupRuntime:
         subtrees are recomputed; sibling rows are restamped.  A prefix
         newly populated by a join gets a fresh table wired into the
         (new) subtree members; one emptied by a removal is dropped.
+
+        ``cause`` ("join" / "leave" / "crash" / "interest-update") is
+        recorded in the match cache's invalidation-cause breakdown so
+        churn-driven hit-rate collapses are attributable.
         """
+        self._ctx.note_invalidation(cause)
         if not self._ctx.keyed_cache:
             # The legacy identity-keyed cache cannot tell a mutated
             # table from its old state; global invalidation is its only
             # safe response to a membership change.
             self._ctx.invalidate()
         self._clock += 1
-        self._membership_changed()
+        self._membership_changed(address)
         touched = 0
         components = address.components
         for prefix in address.prefixes():
@@ -690,13 +1025,14 @@ class GroupRuntime:
             return
         self._tree.remove(address)
         self._excluded_at[address] = self._round
-        self._quorums.pop(address, None)
+        self._accusers.pop(address, None)
+        self._quorum_required.pop(address, None)
         self._m_exclusions.inc()
         crashed_at = self._crashed_at.get(address)
         if crashed_at is not None:
             self._h_exclusion.observe(self._round - crashed_at)
         if self._obs.tracing:
             self._obs.emit(self._round, "exclude", address)
-        self._refresh_path(address)
+        self._refresh_path(address, cause="crash")
         for detector in self._detectors.values():
             detector.unwatch(address)

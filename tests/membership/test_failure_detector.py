@@ -1,5 +1,7 @@
 """Tests for last-contact failure detection (§2.3) and the §6 quorum."""
 
+import random
+
 import pytest
 
 from repro.addressing import Address
@@ -137,3 +139,85 @@ class TestContactFloorFastPath:
     def test_no_neighbors_no_suspects(self):
         detector = FailureDetector(OWNER, timeout=1)
         assert detector.suspects(100) == []
+
+
+class TestIncrementalDetector:
+    """The bucketed suspect set and its generation counter."""
+
+    def test_generation_advances_only_on_suspect_set_change(self):
+        detector = FailureDetector(OWNER, timeout=2)
+        detector.watch(PEER, now=0)
+        detector.watch(OTHER, now=0)
+        before = detector.generation
+        assert detector.suspects(2) == []          # nothing promoted
+        assert detector.generation == before
+        assert detector.suspects(3) == [PEER, OTHER]
+        promoted = detector.generation
+        assert promoted != before
+        # Re-querying the same suspect set: memoized, no new generation.
+        assert detector.suspects(4) == [PEER, OTHER]
+        assert detector.generation == promoted
+        detector.record_contact(PEER, now=4)       # leaves the set
+        assert detector.generation != promoted
+
+    def test_memo_list_is_stable_across_quiet_queries(self):
+        detector = FailureDetector(OWNER, timeout=1)
+        detector.watch(PEER, now=0)
+        first = detector.suspects(5)
+        second = detector.suspects(6)
+        assert first is second                     # memoized, read-only
+
+    def test_non_monotonic_query_answers_statelessly(self):
+        detector = FailureDetector(OWNER, timeout=2)
+        detector.watch(PEER, now=0)
+        detector.record_contact(OTHER, now=8)
+        assert detector.suspects(9) == [PEER]      # frontier now 7
+        # An earlier clock must still answer correctly without
+        # corrupting the incremental frontier state.
+        assert detector.suspects(3) == [PEER]
+        assert detector.suspects(2) == []
+        assert detector.suspects(9) == [PEER]
+        assert detector.suspects(11) == [PEER, OTHER]
+
+    def test_back_dated_contact_goes_straight_to_suspects(self):
+        detector = FailureDetector(OWNER, timeout=1)
+        detector.watch(PEER, now=10)
+        assert detector.suspects(20) == [PEER]     # frontier at 19
+        detector.record_contact(OTHER, now=5)      # implicit, stale watch
+        assert detector.suspects(20) == [PEER, OTHER]
+
+    def test_randomized_equivalence_with_reference_scan(self):
+        # Drive random watch/contact/unwatch/query traffic through the
+        # incremental detector and a naive dict, and require identical
+        # suspect reports at every monotone query point.
+        rng = random.Random(20020405)
+        detector = FailureDetector(OWNER, timeout=4)
+        reference = {}
+        neighbors = [Address((0, 0, i)) for i in range(1, 30)]
+        now = 0
+        for step in range(600):
+            roll = rng.random()
+            peer = rng.choice(neighbors)
+            if roll < 0.45:
+                detector.record_contact(peer, now)
+                previous = reference.get(peer)
+                if previous is None or now > previous:
+                    reference[peer] = now
+            elif roll < 0.6:
+                if peer != OWNER and peer not in reference:
+                    detector.watch(peer, now)
+                    reference[peer] = now
+            elif roll < 0.7:
+                detector.unwatch(peer)
+                reference.pop(peer, None)
+            else:
+                expected = sorted(
+                    n for n, last in reference.items() if now - last > 4
+                )
+                assert detector.suspects(now) == expected, f"step {step}"
+            if rng.random() < 0.5:
+                now += rng.randint(0, 2)
+        expected = sorted(
+            n for n, last in reference.items() if now - last > 4
+        )
+        assert detector.suspects(now) == expected

@@ -40,10 +40,9 @@ class TestMembershipState:
         tree = make_tree()
         state = make_states(tree)[Address((0, 0, 0))]
         digest = state.digest()
-        expected_lines = sum(
-            table.row_count for table in state.tables.values()
-        )
-        assert len(digest) == expected_lines
+        assert set(digest) == set(state.tables)
+        for depth, table in state.tables.items():
+            assert len(digest[depth]) == table.row_count
 
     def test_wrong_prefix_table_rejected(self):
         tree = make_tree()
@@ -174,7 +173,8 @@ class TestStateMemoization:
         assert state.version() != version
         after = state.digest()
         assert after is not before
-        assert max(after.values()) == 42
+        leaf_depth = max(state.tables)
+        assert max(after[leaf_depth].values()) == 42
 
     def test_exchange_between_synced_replicas_is_zero(self):
         tree = make_tree()
@@ -195,3 +195,74 @@ class TestStateMemoization:
         assert exchange(a, b) == 1
         assert a.tables[leaf_depth].digest() == b.tables[leaf_depth].digest()
         assert exchange(a, b) == 0
+
+
+class TestSyncGroups:
+    """The transitive digest-equality groups on the exchange fast path."""
+
+    def test_verified_equal_pair_shares_a_group(self):
+        tree = make_tree()
+        states = make_states(tree)
+        a, b = list(states.values())[:2]
+        assert a._sync_group is None
+        assert exchange(a, b) == 0              # digests compared equal
+        assert a._sync_group is not None
+        assert a._sync_group[0] == b._sync_group[0]
+        assert a._sync_group[1] == a.content_stamp()
+        assert exchange(a, b) == 0              # group fast path
+
+    def test_equality_is_transitive_across_the_group(self):
+        # a~b and b~c verified directly; a~c must take the fast path
+        # even though a and c never compared digests — their group ids
+        # match and neither mutated since verification.
+        tree = make_tree()
+        states = make_states(tree)
+        a, b, c = list(states.values())[:3]
+        exchange(a, b)
+        exchange(b, c)
+        assert a._sync_group[0] == c._sync_group[0]
+
+    def test_grouped_and_fresh_paths_count_identically(self):
+        from repro.obs import MetricsRegistry
+
+        tree = make_tree()
+        states = make_states(tree)
+        a, b = list(states.values())[:2]
+        registry = MetricsRegistry()
+        exchange(a, b, registry=registry)       # digest comparison
+        exchange(a, b, registry=registry)       # group hit
+        snapshot = registry.snapshot()["gossip_pull"]
+        assert snapshot["exchanges"] == 2
+        assert snapshot["synced_exchanges"] == 2
+
+    def test_mutation_on_either_side_leaves_the_group(self):
+        tree = make_tree()
+        states = make_states(tree)
+        a = states[Address((0, 0, 0))]
+        b = states[Address((0, 0, 1))]
+        exchange(a, b)
+        group = b._sync_group
+        leaf_depth = max(b.tables)
+        b.tables[leaf_depth].upsert(
+            b.tables[leaf_depth].rows()[0].with_timestamp(3)
+        )
+        # b's content stamp moved past the stored one, so the group
+        # membership no longer validates; the digests are rebuilt, the
+        # fresh line flows, and the pair re-forms a group.
+        assert b.content_stamp() != group[1]
+        assert exchange(a, b) == 1
+        assert exchange(a, b) == 0
+        assert b._sync_group[1] == b.content_stamp()
+
+    def test_structure_stamp_survives_restamps(self):
+        tree = make_tree()
+        states = make_states(tree)
+        state = next(iter(states.values()))
+        peers = state.peers()
+        structural = state.structure_stamp()
+        content = state.content_stamp()
+        leaf = state.tables[max(state.tables)]
+        leaf.upsert(leaf.rows()[0].with_timestamp(11))
+        assert state.content_stamp() > content  # monotone under mutation
+        assert state.structure_stamp() == structural
+        assert state.peers() is peers           # memo kept through churn
