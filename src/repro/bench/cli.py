@@ -59,6 +59,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override the subgroup arity a (default: paper scale)",
     )
     parser.add_argument(
+        "--depth",
+        type=int,
+        default=3,
+        help="tree depth d used by --members to derive the arity "
+        "(default 3, the paper's hierarchy depth)",
+    )
+    parser.add_argument(
+        "--members",
+        type=int,
+        default=None,
+        help="size preset: derive --arity as round(N^(1/depth)), e.g. "
+        "--members 1000000 -> arity 100; an explicit --arity wins",
+    )
+    parser.add_argument(
         "--trials",
         type=int,
         default=None,
@@ -141,6 +155,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.members is not None and args.arity is None:
+        if args.depth < 1:
+            parser.error("--depth must be >= 1")
+        args.arity = max(2, round(args.members ** (1.0 / args.depth)))
     numbers: List[int] = []
     if args.all:
         numbers = [4, 5, 6, 7]

@@ -47,6 +47,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import platform
 import sys
 import time
@@ -75,6 +76,48 @@ def _sha1(parts: Sequence[str]) -> str:
         digest.update(part.encode("utf-8"))
         digest.update(b"\n")
     return digest.hexdigest()
+
+
+def _report_digest(report: Any) -> str:
+    """The canonical engine-outcome digest (shared by ``engine`` and
+    ``scale_loop`` so their baselines stay comparable)."""
+    fields = (
+        report.group_size,
+        report.interested,
+        report.delivered_interested,
+        report.received_uninterested,
+        report.received_total,
+        report.rounds,
+        report.messages_sent,
+        report.duplicate_receptions,
+    )
+    return _sha1([str(field) for field in fields])
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of this process in KiB (None off-POSIX)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _current_rss_kb() -> Optional[int]:
+    """Resident set size right now in KiB (None where /proc is absent).
+
+    Unlike ``ru_maxrss`` this is not monotone over the process life, so
+    per-scenario footprints stay meaningful even after an earlier
+    benchmark in the same suite peaked higher.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError):  # pragma: no cover - non-Linux
+        return None
+    return None
 
 
 def _runtime_kwargs(mode: str) -> Dict[str, Any]:
@@ -238,16 +281,6 @@ def bench_engine(
         group, addresses[0], event, SimConfig(seed=seed)
     )
     seconds = time.perf_counter() - started
-    fields = (
-        report.group_size,
-        report.interested,
-        report.delivered_interested,
-        report.received_uninterested,
-        report.received_total,
-        report.rounds,
-        report.messages_sent,
-        report.duplicate_receptions,
-    )
     return {
         "members": len(addresses),
         "build_seconds": round(build_seconds, 4),
@@ -256,7 +289,7 @@ def bench_engine(
         "delivered_interested": report.delivered_interested,
         "received_uninterested": report.received_uninterested,
         "messages_sent": report.messages_sent,
-        "digest": _sha1([str(field) for field in fields]),
+        "digest": _report_digest(report),
     }
 
 
@@ -523,6 +556,115 @@ def bench_sweep(
     }
 
 
+def bench_scale_loop(
+    arity: int, depth: int, seed: int, mode: str
+) -> Optional[Dict[str, Any]]:
+    """Million-member scaling of the vectorized round loop.
+
+    Two measurements back the two claims of the struct-of-arrays path:
+
+    1. **Bit-identity at the bench scale** — the same dissemination as
+       ``engine`` is run twice on fresh groups, scalar vs.
+       ``vectorized=True``; the outcome digests must match
+       (``digest_identical``) and the ratio of the wall-clocks is
+       ``speedup_vectorized``.
+    2. **Scale trajectory** — the sharded numpy kernel
+       (:func:`repro.par.subtree.run_sharded_dissemination`) runs a
+       full dissemination at a ladder of sizes up to 100³ = 10⁶
+       members (CI scale uses a reduced ladder), reporting wall-clock,
+       rounds/sec, delivery ratio, completion, and peak RSS per point.
+       ``speedup_sharded`` compares the ladder's first point (the bench
+       scale) against the scalar engine.
+    """
+    from repro.par.subtree import build_regular_spec, run_sharded_dissemination
+    from repro.sim.engine import run_dissemination
+    from repro.sim.group import PmcastGroup
+
+    if mode == "legacy":
+        return None
+    space = AddressSpace.regular(arity, depth)
+    addresses = space.enumerate_regular(arity)
+    members = bernoulli_interests(
+        addresses, 0.25, derive_rng(seed, "perf-interests")
+    )
+    config = PmcastConfig(fanout=3, redundancy=3)
+    event = Event({"perf": 1}, event_id=7)
+
+    def engine_run(vectorized: bool):
+        group = PmcastGroup.build(members, config)
+        started = time.perf_counter()
+        report = run_dissemination(
+            group,
+            addresses[0],
+            event,
+            SimConfig(seed=seed, vectorized=vectorized),
+        )
+        return time.perf_counter() - started, report
+
+    scalar_seconds, scalar_report = engine_run(False)
+    vector_seconds, vector_report = engine_run(True)
+    scalar_digest = _report_digest(scalar_report)
+    vector_digest = _report_digest(vector_report)
+
+    paper_members = PAPER_SCALE["arity"] ** PAPER_SCALE["depth"]
+    if arity ** depth >= paper_members:
+        ladder = [(arity, depth), (47, 3), (100, 3)]
+    else:
+        ladder = [(arity, depth), (11, 3), (22, 3)]
+    seen = set()
+    points: List[Dict[str, Any]] = []
+    for point_arity, point_depth in ladder:
+        size = point_arity ** point_depth
+        if size in seen:
+            continue
+        seen.add(size)
+        started = time.perf_counter()
+        spec = build_regular_spec(
+            point_arity,
+            point_depth,
+            0.25,
+            config=config,
+            sim_config=SimConfig(seed=seed, max_rounds=96),
+            event_id=event.event_id,
+        )
+        build_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        report = run_sharded_dissemination(spec)
+        seconds = time.perf_counter() - started
+        points.append(
+            {
+                "members": size,
+                "build_seconds": round(build_seconds, 4),
+                "seconds": round(seconds, 4),
+                "rounds": report.rounds,
+                "rounds_per_second": round(report.rounds / seconds, 2)
+                if seconds
+                else None,
+                "delivery_ratio": round(report.delivery_ratio, 4),
+                "completed": report.rounds < spec.max_rounds,
+                "rss_kb": _current_rss_kb(),
+                "peak_rss_kb": _peak_rss_kb(),
+            }
+        )
+    sharded_seconds = points[0]["seconds"] if points else None
+    return {
+        "members": len(addresses),
+        "seconds": round(vector_seconds, 4),
+        "seconds_scalar": round(scalar_seconds, 4),
+        "rounds": vector_report.rounds,
+        "digest": vector_digest,
+        "digest_identical": scalar_digest == vector_digest,
+        "speedup_vectorized": round(scalar_seconds / vector_seconds, 2)
+        if vector_seconds
+        else None,
+        "speedup_sharded": round(scalar_seconds / sharded_seconds, 2)
+        if sharded_seconds
+        else None,
+        "sharded_points": points,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
 _BENCHES = {
     "round_loop": bench_round_loop,
     "faulted_round_loop": bench_faulted_round_loop,
@@ -531,6 +673,7 @@ _BENCHES = {
     "match_cache": bench_match_cache,
     "membership_plane": bench_membership_plane,
     "sweep": bench_sweep,
+    "scale_loop": bench_scale_loop,
 }
 
 #: Benchmarks excluded from the default selection (opt in via --bench
@@ -577,10 +720,7 @@ def run_suite(
             "seed": seed,
             "modes": list(modes),
         },
-        "environment": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
+        "environment": _environment(),
         "results": results,
     }
     if "current" in results and "legacy" in results:
@@ -588,6 +728,24 @@ def run_suite(
             results["current"], results["legacy"]
         )
     return report
+
+
+def _environment() -> Dict[str, Any]:
+    """The report's environment block, captured at the end of the run
+    so ``peak_rss_kb`` covers the whole suite."""
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a baked-in dep
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
 
 
 def _identity_check(
@@ -677,6 +835,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--arity", type=int, default=None)
     parser.add_argument("--depth", type=int, default=None)
+    parser.add_argument(
+        "--members",
+        type=int,
+        default=None,
+        help="size preset: derive the arity as round(N^(1/depth)) "
+        "(e.g. --members 1000000 with the default depth 3 -> 100^3); "
+        "an explicit --arity still wins",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--mode",
@@ -740,10 +906,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     scale = dict(QUICK_SCALE if args.quick else PAPER_SCALE)
-    if args.arity is not None:
-        scale["arity"] = args.arity
     if args.depth is not None:
         scale["depth"] = args.depth
+    if args.members is not None:
+        scale["arity"] = max(
+            2, round(args.members ** (1.0 / scale["depth"]))
+        )
+    if args.arity is not None:
+        scale["arity"] = args.arity
     modes = ("current", "legacy") if args.mode == "both" else (args.mode,)
     baseline = None
     if args.baseline:

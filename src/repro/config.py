@@ -113,12 +113,19 @@ class SimConfig:
             uniformly random round of the run).
         seed: master seed for all randomness of a run.
         max_rounds: hard stop for the simulation loop.
+        vectorized: run eligible disseminations on the struct-of-arrays
+            fast path (:mod:`repro.sim.vector`).  The fast path consumes
+            the same RNG streams in the same order as the scalar loop,
+            so results are bit-identical; runs it cannot express (link
+            rules, traces, fault plans, non-idle nodes) silently fall
+            back to the scalar engine.
     """
 
     loss_probability: float = 0.0
     crash_fraction: float = 0.0
     seed: int = 0
     max_rounds: int = 512
+    vectorized: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_probability < 1.0:

@@ -33,7 +33,7 @@ Fidelity notes (each tied to a Figure 3 line):
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.addressing import Address
 from repro.config import PmcastConfig
@@ -184,6 +184,38 @@ class PmcastNode:
         (the process may be serving as a susceptible delegate).
         """
         self._interest = interest
+
+    def restore_outcome(
+        self,
+        event: Event,
+        *,
+        alive: bool,
+        received: bool,
+        delivered: bool,
+        sent_delta: int,
+        receptions_delta: int,
+        buffered: Optional[Tuple[int, float, int]] = None,
+    ) -> None:
+        """Install one dissemination's outcome computed out-of-band.
+
+        The vectorized engine (:mod:`repro.sim.vector`) simulates a run
+        on flat arrays and writes each node's final protocol state back
+        through this single seam — liveness, the seen/delivered sets,
+        the message counters, and any still-buffered entry
+        ``(depth, rate, round)`` — so every scalar inspection API stays
+        truthful after a vectorized run.
+        """
+        self.alive = alive
+        if received:
+            self._received.add(event.event_id)
+        if delivered and event.event_id not in self._delivered_ids:
+            self._delivered.append(event)
+            self._delivered_ids.add(event.event_id)
+        self._messages_sent += sent_delta
+        self._receptions += receptions_delta
+        if buffered is not None:
+            depth, rate, round_ = buffered
+            self._buffers.add(depth, event, rate, round=round_)
 
     # -- the three Figure 3 entry points ---------------------------------
 

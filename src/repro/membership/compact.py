@@ -1,0 +1,190 @@
+"""Compact array-backed snapshots of membership view tables.
+
+The struct-of-arrays fast path (:mod:`repro.sim.vector`) cannot chase
+:class:`~repro.membership.views.ViewTable` object graphs in its inner
+loop — at n ≈ 10^6 even attribute access is the hot path.  A
+:class:`CompactViewTable` freezes one table *state* into flat numpy
+arrays:
+
+* ``infixes`` — the row keys, sorted ascending (the deterministic
+  iteration order of :meth:`ViewTable.rows`);
+* ``row_ptr`` / ``delegate_indices`` — a CSR-style flattening of each
+  row's delegates, mapped to dense member indices (position in the
+  group's sorted address list), so the vector kernels address members
+  by ``int32`` instead of :class:`~repro.addressing.Address`;
+* ``process_counts`` and ``timestamps`` — the per-row bookkeeping the
+  round-estimation heuristics and anti-entropy digests read.
+
+A snapshot is pinned to the table state it was taken from via
+``cache_token`` and carries a content :meth:`digest`, so shipping it to
+a worker process (the subtree sharding plane) preserves the integrity
+story of the object model: two snapshots agree iff the table states
+they were taken from agree line for line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.addressing import Address
+from repro.errors import MembershipError
+from repro.membership.views import ViewTable
+
+__all__ = ["CompactViewTable"]
+
+
+class CompactViewTable:
+    """One view-table state, frozen into flat arrays.
+
+    Build with :meth:`from_table`; instances are immutable by
+    convention (the arrays are flagged non-writeable).
+    """
+
+    __slots__ = (
+        "prefix_components",
+        "depth",
+        "tree_depth",
+        "cache_token",
+        "infixes",
+        "row_ptr",
+        "delegate_indices",
+        "process_counts",
+        "timestamps",
+    )
+
+    def __init__(
+        self,
+        prefix_components: tuple,
+        depth: int,
+        tree_depth: int,
+        cache_token: int,
+        infixes: np.ndarray,
+        row_ptr: np.ndarray,
+        delegate_indices: np.ndarray,
+        process_counts: np.ndarray,
+        timestamps: np.ndarray,
+    ):
+        self.prefix_components = prefix_components
+        self.depth = depth
+        self.tree_depth = tree_depth
+        self.cache_token = cache_token
+        self.infixes = infixes
+        self.row_ptr = row_ptr
+        self.delegate_indices = delegate_indices
+        self.process_counts = process_counts
+        self.timestamps = timestamps
+        for array in (infixes, row_ptr, delegate_indices,
+                      process_counts, timestamps):
+            array.setflags(write=False)
+
+    @classmethod
+    def from_table(
+        cls,
+        table: ViewTable,
+        index_of: Mapping[Address, int],
+    ) -> "CompactViewTable":
+        """Snapshot ``table``, mapping delegates through ``index_of``.
+
+        Args:
+            table: the live view table to freeze.
+            index_of: dense member index per address — conventionally
+                the position in the group's sorted address list.
+
+        Raises:
+            MembershipError: if a delegate is not in ``index_of`` (the
+                table references a process the caller does not know).
+        """
+        rows = table.rows()
+        infixes = np.array([row.infix for row in rows], dtype=np.int64)
+        row_ptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        flat: List[int] = []
+        for position, row in enumerate(rows):
+            for delegate in row.delegates:
+                index = index_of.get(delegate)
+                if index is None:
+                    raise MembershipError(
+                        f"delegate {delegate} of {table.prefix} is not a "
+                        "known member"
+                    )
+                flat.append(index)
+            row_ptr[position + 1] = len(flat)
+        return cls(
+            prefix_components=tuple(table.prefix.components),
+            depth=table.depth,
+            tree_depth=table.tree_depth,
+            cache_token=table.cache_token,
+            infixes=infixes,
+            row_ptr=row_ptr,
+            delegate_indices=np.array(flat, dtype=np.int64),
+            process_counts=np.array(
+                [row.process_count for row in rows], dtype=np.int64
+            ),
+            timestamps=np.array(
+                [row.timestamp for row in rows], dtype=np.int64
+            ),
+        )
+
+    @property
+    def row_count(self) -> int:
+        """``|view|`` — the number of lines."""
+        return len(self.infixes)
+
+    @property
+    def entry_count(self) -> int:
+        """Total gossipable entries (``|view| * R`` below depth d)."""
+        return len(self.delegate_indices)
+
+    def row_delegates(self, position: int) -> np.ndarray:
+        """The dense member indices of row ``position``'s delegates."""
+        return self.delegate_indices[
+            self.row_ptr[position]:self.row_ptr[position + 1]
+        ]
+
+    def expand_row_flags(self, row_flags: Sequence[bool]) -> np.ndarray:
+        """Per-entry booleans from per-row booleans.
+
+        A row verdict (e.g. "this subtree's regrouped interest matches
+        the event") applies to every delegate of the row; this is the
+        flattening :func:`repro.core.rate.match_table` performs on the
+        object model, done once on arrays.
+        """
+        flags = np.asarray(row_flags, dtype=bool)
+        if len(flags) != self.row_count:
+            raise MembershipError(
+                f"expected {self.row_count} row flags, got {len(flags)}"
+            )
+        return np.repeat(flags, np.diff(self.row_ptr))
+
+    def timestamps_by_infix(self) -> Dict[int, int]:
+        """The gossip-pull digest view: infix -> timestamp.
+
+        Equals ``ViewTable.digest()`` of the source state (up to dict
+        ordering), so anti-entropy code can compare a shipped snapshot
+        against a live table without rebuilding objects.
+        """
+        return {
+            int(infix): int(stamp)
+            for infix, stamp in zip(self.infixes, self.timestamps)
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the snapshot's full content (hex).
+
+        Two snapshots digest equal iff their source table states agree
+        on structure, delegates (as dense indices), process counts and
+        timestamps — the integrity check shard workers use to confirm
+        they reconstructed the coordinator's view of the membership.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(
+            repr((self.prefix_components, self.depth, self.tree_depth)).encode(
+                "utf-8"
+            )
+        )
+        for array in (self.infixes, self.row_ptr, self.delegate_indices,
+                      self.process_counts, self.timestamps):
+            hasher.update(np.ascontiguousarray(array).tobytes())
+        return hasher.hexdigest()

@@ -15,7 +15,11 @@ them across a process pool **without changing a single output bit**:
   checkpoint/resume with byte-identical resumed aggregates;
 * :mod:`repro.par.worker` / :mod:`repro.par.merge` — per-worker
   :mod:`repro.obs` metric collection, merged order-independently at
-  the join point.
+  the join point;
+* :mod:`repro.par.subtree` — :func:`run_sharded_dissemination`: one
+  depth-1 subtree per worker over the struct-of-arrays kernel
+  (:mod:`repro.sim.vector`), envelopes exchanged at round barriers,
+  aggregates identical at any worker count.
 
 The determinism contract is locked down by the ``tests/par``
 equivalence suite; see docs/VALIDATION.md ("Parallel execution").
@@ -25,6 +29,7 @@ from repro.par.checkpoint import CHECKPOINT_SCHEMA, ShardFile, task_key
 from repro.par.executor import TrialExecutor, resolve_jobs
 from repro.par.merge import merge_delta, merge_deltas
 from repro.par.seeds import derive_rng, derive_seed, normalize_grid_point
+from repro.par.subtree import build_regular_spec, run_sharded_dissemination
 from repro.par.worker import drain_metrics, worker_registry
 
 __all__ = [
@@ -38,6 +43,8 @@ __all__ = [
     "derive_rng",
     "derive_seed",
     "normalize_grid_point",
+    "build_regular_spec",
+    "run_sharded_dissemination",
     "drain_metrics",
     "worker_registry",
 ]

@@ -15,6 +15,13 @@ from repro.sim.network import LossyNetwork
 from repro.sim.rng import derive_rng, derive_seed
 from repro.sim.runtime import GroupRuntime
 from repro.sim.trace import TraceLog, TraceRecord
+from repro.sim.vector import (
+    RegularTreeSpec,
+    ShardState,
+    VectorUnsupported,
+    run_shard_wave,
+    try_run_vectorized,
+)
 from repro.sim.workload import (
     bernoulli_interests,
     clustered_interests,
@@ -38,6 +45,11 @@ __all__ = [
     "GroupRuntime",
     "TraceLog",
     "TraceRecord",
+    "RegularTreeSpec",
+    "ShardState",
+    "VectorUnsupported",
+    "run_shard_wave",
+    "try_run_vectorized",
     "derive_rng",
     "derive_seed",
     "bernoulli_interests",

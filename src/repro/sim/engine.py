@@ -31,6 +31,7 @@ from repro.sim.metrics import DisseminationReport
 from repro.sim.network import LossyNetwork
 from repro.sim.rng import derive_rng
 from repro.sim.trace import TraceLog
+from repro.sim.vector import try_run_vectorized
 
 __all__ = ["run_dissemination"]
 
@@ -103,6 +104,22 @@ def run_dissemination(
     origin = group.node(publisher)
     if not origin.alive:
         raise SimulationError(f"publisher {publisher} has crashed")
+
+    if (
+        sim_config.vectorized
+        and trace is None
+        and injector is None
+        and not network.has_link_rules
+    ):
+        # The struct-of-arrays fast path consumes the same RNG streams
+        # in the same order, so an eligible run is bit-identical to the
+        # scalar loop below; an ineligible one returns None with the
+        # streams untouched and falls through to it.
+        report = try_run_vectorized(
+            group, publisher, event, sim_config, ctx, network, crash_schedule
+        )
+        if report is not None:
+            return report
 
     # Ground truth for the metrics, before anybody crashes.
     interested = set(group.interested_members(event))

@@ -15,7 +15,7 @@ defaults to off.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Set
+from typing import Callable, Iterable, List, Optional, Set
 
 from repro.addressing import Address
 from repro.core.messages import Envelope
@@ -82,6 +82,42 @@ class LossyNetwork:
     def heal(self) -> None:
         """Remove all deterministic drop rules."""
         self._blocked.clear()
+
+    @property
+    def has_link_rules(self) -> bool:
+        """True when deterministic drop rules are installed.
+
+        The vectorized fast path cannot evaluate per-address link rules
+        on integer indices, so it checks this before taking over.
+        """
+        return bool(self._blocked)
+
+    def transmit_flags(self, count: int) -> Optional[List[bool]]:
+        """Draw ``count`` delivery verdicts without materializing envelopes.
+
+        The vectorized engine's transport: consumes exactly the draws
+        :meth:`transmit` would for ``count`` envelopes (one ``random()``
+        per envelope when ε > 0, none otherwise) and updates the same
+        sent/lost counters, so a vectorized run stays stream- and
+        metric-identical to the scalar one.  Returns None when ε <= 0
+        (everything delivered, nothing drawn).
+
+        Raises:
+            SimulationError: if link rules are installed — those need
+                addresses, which this path does not carry.
+        """
+        if self._blocked:
+            raise SimulationError(
+                "transmit_flags cannot evaluate link rules"
+            )
+        self._sent += count
+        if self._loss_probability <= 0.0:
+            return None
+        probability = self._loss_probability
+        rand = self._rng.random
+        flags = [rand() >= probability for __ in range(count)]
+        self._lost += count - sum(flags)
+        return flags
 
     def transmit(self, envelopes: Iterable[Envelope]) -> List[Envelope]:
         """Deliver the surviving subset of ``envelopes``, in order."""

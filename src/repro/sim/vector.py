@@ -1,0 +1,1020 @@
+"""Struct-of-arrays fast paths for the simulation hot loop.
+
+Two kernels live here, with different contracts:
+
+**Compat kernel** (:func:`try_run_vectorized`) — a flattened re-
+implementation of :func:`repro.sim.engine.run_dissemination`'s round
+loop over dense integer indices instead of the per-member object model.
+It consumes the *same* ``random.Random`` streams in the *same* order as
+the scalar engine (destination draws via a position-level mirror of
+CPython's ``random.sample``, loss draws via
+:meth:`~repro.sim.network.LossyNetwork.transmit_flags`), so its
+:class:`~repro.sim.metrics.DisseminationReport` is bit-identical to the
+scalar path's for any eligible run.  Selected by
+``SimConfig(vectorized=True)``; ineligible runs (non-idle nodes,
+irregular address depths, link rules, traces, fault plans) silently
+fall back to the scalar engine.
+
+**Regular-tree kernel** (:class:`RegularTreeSpec` /
+:func:`run_shard_wave`) — a fully vectorized numpy round step for the
+synthetic full regular tree (n = arity^depth, delegates = the R
+smallest addresses of each subtree, exact-union regrouping).  Member
+state is four flat arrays (``alive``, ``received``, ``buf_depth``,
+``buf_round``); per-(depth, subgroup) matching masks, rates, round
+bounds and flood flags are precomputed tables, valid because every
+entry of a view shares the view's subgroup and therefore its rate.
+Destination draws come from per-(shard, round) ``numpy`` PCG64 streams
+derived through the SHA-256 seed contract — deterministic at any
+worker count, but *not* stream-compatible with the scalar engine; this
+kernel is validated statistically against the Eqs 8–18 oracles (the
+``scale`` conformance suite) rather than by digest.  The sharding
+coordinator that drives :func:`run_shard_wave` over a
+:class:`~repro.par.TrialExecutor` lives in :mod:`repro.par.subtree`.
+
+Determinism rules (both kernels): no wall clock, no ``hash()`` of
+interned objects, no set-iteration order — every draw is derived from
+the master seed via :func:`repro.sim.rng.derive_seed`, and every loop
+iterates arrays or insertion-ordered lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.addressing import Address
+from repro.config import PmcastConfig, SimConfig
+from repro.core.context import GossipContext
+from repro.core.rounds import loss_adjusted_rounds, pittel_rounds, round_bound
+from repro.errors import ProtocolError, SimulationError
+from repro.interests.events import Event
+from repro.sim.crashes import CrashSchedule
+from repro.sim.group import PmcastGroup
+from repro.sim.metrics import DisseminationReport
+from repro.sim.network import LossyNetwork
+from repro.sim.rng import derive_seed
+
+__all__ = [
+    "VectorUnsupported",
+    "sample_positions",
+    "try_run_vectorized",
+    "RegularTreeSpec",
+    "ShardState",
+    "run_shard_wave",
+]
+
+
+class VectorUnsupported(SimulationError):
+    """The requested run cannot be expressed on the vector fast path."""
+
+
+# ---------------------------------------------------------------------------
+# The random.sample mirror.
+# ---------------------------------------------------------------------------
+
+def sample_positions(randbelow, n: int, k: int) -> List[int]:
+    """Draw ``k`` distinct positions from ``range(n)``, mirroring
+    ``random.Random.sample``.
+
+    This is CPython's ``Random.sample`` with the population replaced by
+    positions: the same ``setsize`` heuristic, the same pool-shuffle /
+    selection-set branches, the same number and order of
+    ``_randbelow`` draws.  Because ``sample`` only consumes randomness
+    as a function of ``(len(population), k)``, feeding the same
+    underlying ``Random`` through this mirror yields positions ``j``
+    such that ``population[j]`` reproduces ``sample(population, k)``
+    element for element — the keystone of the compat kernel's
+    bit-for-bit digest equality with the scalar engine.
+    """
+    result = [0] * k
+    setsize = 21
+    if k > 5:
+        setsize += 4 ** math.ceil(math.log(k * 3, 4))
+    if n <= setsize:
+        pool = list(range(n))
+        for i in range(k):
+            j = randbelow(n - i)
+            result[i] = pool[j]
+            pool[j] = pool[n - i - 1]
+    else:
+        selected = set()
+        selected_add = selected.add
+        for i in range(k):
+            j = randbelow(n)
+            while j in selected:
+                j = randbelow(n)
+            selected_add(j)
+            result[i] = j
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Compat kernel: bit-identical to the scalar engine.
+# ---------------------------------------------------------------------------
+
+class _DepthMatch:
+    """One (view table, event) match flattened to dense indices.
+
+    The struct-of-arrays image of :class:`repro.core.rate.TableMatch`:
+    ``entries`` holds member indices in view order, ``mask`` the
+    effective (post-§5.3) interest verdict per entry, ``pos`` the
+    inverse mapping for self-exclusion.  ``bounds`` memoizes the
+    Figure 3 line 7 round bound per propagated rate — the same
+    (entry count, rate, config) function the scalar context memoizes.
+    """
+
+    __slots__ = (
+        "entries", "mask", "pos", "rate", "entry_count",
+        "flood_targets", "bounds",
+    )
+
+    def __init__(self, entries, mask, pos, rate, flood_targets):
+        self.entries = entries
+        self.mask = mask
+        self.pos = pos
+        self.rate = rate
+        self.entry_count = len(entries)
+        self.flood_targets = flood_targets
+        self.bounds: Dict[float, int] = {}
+
+    def bound_for(self, rate: float, config: PmcastConfig) -> int:
+        bound = self.bounds.get(rate)
+        if bound is None:
+            effective_n = self.entry_count * rate
+            effective_f = config.fanout * rate
+            if config.loss_aware_rounds:
+                estimate = loss_adjusted_rounds(
+                    effective_n,
+                    effective_f,
+                    config.assumed_loss,
+                    config.assumed_crash,
+                    config.pittel_c,
+                )
+            else:
+                estimate = pittel_rounds(
+                    effective_n, effective_f, config.pittel_c
+                )
+            bound = round_bound(
+                estimate,
+                config.min_rounds_per_depth,
+                config.max_rounds_per_depth,
+            )
+            self.bounds[rate] = bound
+        return bound
+
+
+class _CompatSpec:
+    """Everything the compat round loop needs, in index space."""
+
+    __slots__ = (
+        "addresses", "index_of", "components", "tree_depth",
+        "node_matches", "own_match", "alive", "received", "delivered",
+    )
+
+
+def _build_compat_spec(
+    group: PmcastGroup, event: Event, ctx: GossipContext
+) -> Optional[_CompatSpec]:
+    """Flatten the group for ``event``, or None if ineligible.
+
+    The probe is read-only (table matching draws no randomness), so a
+    None return leaves the run's RNG streams untouched for the scalar
+    fallback.
+    """
+    addresses = group.addresses()
+    index_of = {address: i for i, address in enumerate(addresses)}
+    tree_depth = group.tree.depth
+    spec = _CompatSpec()
+    spec.addresses = addresses
+    spec.index_of = index_of
+    spec.tree_depth = tree_depth
+    components: List[Tuple[int, ...]] = []
+    own_match: List[bool] = []
+    alive: List[bool] = []
+    received: List[bool] = []
+    delivered: List[bool] = []
+    node_matches: List[Tuple[_DepthMatch, ...]] = []
+    matches: Dict[Tuple[int, int], _DepthMatch] = {}
+    can_flood = group.config.leaf_flood_threshold <= 1.0
+    try:
+        for address in addresses:
+            node = group.node(address)
+            if not node.is_idle:
+                # Another event is mid-flight on the object model; the
+                # single-event arrays cannot represent it.
+                return None
+            if len(address.components) != tree_depth:
+                return None
+            components.append(address.components)
+            own_match.append(node.interest.matches(event))
+            alive.append(node.alive)
+            received.append(node.has_received(event))
+            delivered.append(node.has_delivered(event))
+            per_depth = []
+            for depth in range(1, tree_depth + 1):
+                table = node.view(depth)
+                key = (depth, id(table))
+                flat = matches.get(key)
+                if flat is None:
+                    match = ctx.table_match(table, event)
+                    entries = []
+                    for entry_address in match.entries:
+                        entry_index = index_of.get(entry_address)
+                        if entry_index is None:
+                            return None
+                        entries.append(entry_index)
+                    mask = [
+                        entry_address in match.matching
+                        for entry_address in match.entries
+                    ]
+                    pos = {
+                        entry: position
+                        for position, entry in enumerate(entries)
+                    }
+                    if depth == tree_depth and can_flood:
+                        flood_targets = [
+                            index_of[target]
+                            for target in sorted(match.matching)
+                            if target in index_of
+                        ]
+                    else:
+                        flood_targets = []
+                    flat = _DepthMatch(
+                        entries, mask, pos, match.rate, flood_targets
+                    )
+                    matches[key] = flat
+                per_depth.append(flat)
+            node_matches.append(tuple(per_depth))
+    except ProtocolError:
+        # e.g. an unpopulated view: let the scalar engine surface it
+        # with its native timing and message.
+        return None
+    spec.components = components
+    spec.own_match = own_match
+    spec.alive = alive
+    spec.received = received
+    spec.delivered = delivered
+    spec.node_matches = node_matches
+    return spec
+
+
+def _publisher_depth(group: PmcastGroup, publisher: Address, event: Event) -> int:
+    """§3.2 local-interest shortcut, as the scalar ``pmcast`` runs it."""
+    node = group.node(publisher)
+    depth = 1
+    while depth < node.tree_depth:
+        table = node.view(depth)
+        own_infix = publisher.components[depth - 1]
+        interested_infixes = {
+            row.infix for row in table.matching_rows(event)
+        }
+        if interested_infixes <= {own_infix}:
+            depth += 1
+        else:
+            break
+    return depth
+
+
+def try_run_vectorized(
+    group: PmcastGroup,
+    publisher: Address,
+    event: Event,
+    sim_config: SimConfig,
+    ctx: GossipContext,
+    network: LossyNetwork,
+    crash_schedule: CrashSchedule,
+) -> Optional[DisseminationReport]:
+    """Run one dissemination on the compat kernel, or None to fall back.
+
+    Stream-compatible with the scalar engine: same gossip/loss draws in
+    the same order, same report, and the object model (node liveness,
+    delivery sets, message counters, leftover buffers) is written back
+    so post-run inspection cannot tell the paths apart.
+    """
+    spec = _build_compat_spec(group, event, ctx)
+    if spec is None:
+        return None
+
+    n = len(spec.addresses)
+    index_of = spec.index_of
+    components = spec.components
+    node_matches = spec.node_matches
+    tree_depth = spec.tree_depth
+    config = group.config
+    fanout = config.fanout
+    flood_threshold = config.leaf_flood_threshold
+    randbelow = ctx.rng._randbelow
+
+    pub = index_of.get(publisher)
+    if pub is None:
+        raise SimulationError(f"{publisher} is not in the group")
+
+    # Ground truth before anybody crashes (exactly the scalar order).
+    interested = set(group.interested_members(event))
+
+    # PMCAST bootstrap (Figure 3 lines 24-25).
+    if spec.received[pub]:
+        raise ProtocolError(f"event {event.event_id} already published")
+    alive = spec.alive
+    received = spec.received
+    delivered = spec.delivered
+    own_match = spec.own_match
+    received[pub] = True
+    if own_match[pub]:
+        delivered[pub] = True
+    publish_depth = (
+        _publisher_depth(group, publisher, event)
+        if config.local_interest_shortcut
+        else 1
+    )
+    buf_depth = [0] * n
+    buf_round = [0] * n
+    buf_rate = [0.0] * n
+    buf_depth[pub] = publish_depth
+    buf_rate[pub] = node_matches[pub][publish_depth - 1].rate
+    sent_count = [0] * n
+    recv_count = [0] * n
+
+    active_list = [pub]
+    in_active = [False] * n
+    in_active[pub] = True
+    active_count = 1
+    infected = [False] * n
+    infected[pub] = True
+    infected_count = 1
+    infection_curve: List[int] = []
+    messages_by_distance = [0] * tree_depth
+    rounds = 0
+
+    for round_index in range(sim_config.max_rounds):
+        for victim in crash_schedule.crashes_at(round_index):
+            vi = index_of.get(victim)
+            if vi is None:
+                raise SimulationError(f"{victim} is not in the group")
+            if not alive[vi]:
+                continue
+            alive[vi] = False
+            if in_active[vi]:
+                in_active[vi] = False
+                active_count -= 1
+        if active_count == 0:
+            break
+        rounds = round_index + 1
+
+        # GOSSIP firings, in active-set insertion order (the scalar
+        # engine's dict order), depths ascending with same-firing
+        # demotion cascades.
+        envelopes: List[Tuple[int, int, int, float, int]] = []
+        next_active: List[int] = []
+        for i in active_list:
+            if not in_active[i]:
+                continue
+            depth = buf_depth[i]
+            entry_round = buf_round[i]
+            entry_rate = buf_rate[i]
+            matches_i = node_matches[i]
+            emitted = 0
+            while True:
+                flat = matches_i[depth - 1]
+                if (
+                    depth == tree_depth
+                    and flat.rate >= flood_threshold
+                ):
+                    # §6 leaf flood: round NOT incremented, retire.
+                    for target in flat.flood_targets:
+                        if target != i:
+                            envelopes.append(
+                                (target, depth, entry_round, entry_rate, i)
+                            )
+                            emitted += 1
+                    depth = 0
+                    break
+                bound = flat.bound_for(entry_rate, config)
+                if entry_round < bound:
+                    entry_round += 1
+                    selfpos = flat.pos.get(i, -1)
+                    m = flat.entry_count - (1 if selfpos >= 0 else 0)
+                    if m > 0:
+                        entries = flat.entries
+                        mask = flat.mask
+                        count = fanout if fanout < m else m
+                        for j in sample_positions(randbelow, m, count):
+                            if selfpos >= 0 and j >= selfpos:
+                                j += 1
+                            if mask[j]:
+                                envelopes.append(
+                                    (
+                                        entries[j], depth, entry_round,
+                                        entry_rate, i,
+                                    )
+                                )
+                                emitted += 1
+                    break
+                elif depth < tree_depth:
+                    depth += 1
+                    entry_round = 0
+                    entry_rate = matches_i[depth - 1].rate
+                else:
+                    depth = 0
+                    break
+            sent_count[i] += emitted
+            buf_depth[i] = depth
+            buf_round[i] = entry_round
+            buf_rate[i] = entry_rate
+            if depth == 0:
+                in_active[i] = False
+                active_count -= 1
+            else:
+                next_active.append(i)
+        active_list = next_active
+
+        # Distance accounting: every envelope, before loss (§2.2).
+        for dest, __, ___, ____, sender in envelopes:
+            sc = components[sender]
+            dc = components[dest]
+            common = 0
+            while common < tree_depth and sc[common] == dc[common]:
+                common += 1
+            messages_by_distance[tree_depth - 1 - common] += 1
+
+        flags = network.transmit_flags(len(envelopes))
+        for position, envelope in enumerate(envelopes):
+            if flags is not None and not flags[position]:
+                continue
+            dest, depth, entry_round, entry_rate, __ = envelope
+            if not alive[dest]:
+                continue
+            recv_count[dest] += 1
+            if received[dest]:
+                if not infected[dest]:
+                    infected[dest] = True
+                    infected_count += 1
+                continue
+            received[dest] = True
+            if own_match[dest]:
+                delivered[dest] = True
+            buf_depth[dest] = depth
+            buf_round[dest] = entry_round
+            buf_rate[dest] = entry_rate
+            if not infected[dest]:
+                infected[dest] = True
+                infected_count += 1
+            if not in_active[dest]:
+                in_active[dest] = True
+                active_list.append(dest)
+                active_count += 1
+
+        infection_curve.append(infected_count)
+
+    # Write the outcome back through the object model so every scalar
+    # inspection API stays truthful after a vectorized run.
+    for i, address in enumerate(spec.addresses):
+        buffered = None
+        if buf_depth[i] > 0:
+            buffered = (buf_depth[i], buf_rate[i], buf_round[i])
+        group.node(address).restore_outcome(
+            event,
+            alive=alive[i],
+            received=received[i],
+            delivered=delivered[i],
+            sent_delta=sent_count[i],
+            receptions_delta=recv_count[i],
+            buffered=buffered,
+        )
+
+    delivered_interested = sum(
+        1 for address in interested if delivered[index_of[address]]
+    )
+    uninterested = [
+        address
+        for address in spec.addresses
+        if address not in interested and address != publisher
+    ]
+    received_uninterested = sum(
+        1 for address in uninterested if received[index_of[address]]
+    )
+    received_total = infected_count
+    messages_sent = sum(sent_count)
+    receptions = sum(recv_count)
+    first_receptions = received_total - 1
+    return DisseminationReport(
+        group_size=group.size,
+        interested=len(interested),
+        uninterested=len(uninterested),
+        delivered_interested=delivered_interested,
+        received_uninterested=received_uninterested,
+        received_total=received_total,
+        crashed=crash_schedule.victim_count,
+        rounds=rounds,
+        messages_sent=messages_sent,
+        messages_lost=network.messages_lost,
+        duplicate_receptions=max(receptions - first_receptions, 0),
+        infection_curve=tuple(infection_curve),
+        messages_by_distance=tuple(messages_by_distance),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Regular-tree kernel: numpy arrays + sharded subtree waves.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _DepthTables:
+    """Precomputed per-depth matching tables for the regular tree.
+
+    ``eff_mask[sub, e]`` answers Figure 3's line-13 interest check for
+    entry ``e`` of subgroup ``sub``'s view; ``rate``/``bound``/``flood``
+    are GETRATE, the line-7 round bound and the §6 flood verdict for
+    that subgroup.  Valid as global constants because every member of a
+    subgroup shares the subgroup's converged view, and every buffered
+    entry carries that view's rate (sender and receiver of a depth-δ
+    gossip share the δ-1 prefix).
+    """
+
+    block: int       # subgroup block size at this depth
+    child: int       # per-row child block size (block // arity)
+    length: int      # entries per view
+    template: np.ndarray    # (length,) member offsets within a block
+    eff_mask: np.ndarray    # (num_sub, length) effective interest
+    rate: np.ndarray        # (num_sub,)
+    bound: np.ndarray       # (num_sub,) integer round bounds
+    flood: Optional[np.ndarray] = None  # (num_sub,) leaf flood verdict
+
+
+def _vector_bounds(length: int, rate: np.ndarray, config: PmcastConfig) -> np.ndarray:
+    """`repro.core.rounds` (Eqs 3/11 + clamp), elementwise over subgroups."""
+    n_eff = length * rate
+    f_eff = config.fanout * rate
+    c = config.pittel_c
+    if config.loss_aware_rounds:
+        scale = (1.0 - config.assumed_loss) * (1.0 - config.assumed_crash)
+        n_eff = n_eff * scale
+        f_eff = f_eff * scale
+    estimate = np.full(rate.shape, max(c, 0.0))
+    live = n_eff > 1.0
+    if live.any():
+        # rate > 0 wherever n_eff > 1, so f_eff > 0 there too.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            raw = (
+                np.log(n_eff)
+                * (1.0 / f_eff + 1.0 / np.log(f_eff + 1.0))
+                + c
+            )
+        estimate[live] = np.maximum(raw[live], 0.0)
+    bounds = np.where(
+        np.isinf(estimate),
+        config.max_rounds_per_depth,
+        np.clip(
+            np.ceil(estimate),
+            config.min_rounds_per_depth,
+            config.max_rounds_per_depth,
+        ),
+    )
+    return bounds.astype(np.int64)
+
+
+@dataclass
+class RegularTreeSpec:
+    """A synthetic full regular tree, flattened for the numpy kernel.
+
+    Members are the ``arity ** depth`` addresses of the regular space
+    in sorted order, so every subgroup at depth δ is the contiguous
+    index block ``[sub * block, (sub+1) * block)`` and the delegates of
+    a subtree are its first ``redundancy`` indices (the R smallest
+    addresses — the :class:`~repro.membership.tree.MembershipTree`
+    election rule).  Interest regrouping is the exact union: a row
+    matches iff any member of its subtree does.
+    """
+
+    arity: int
+    depth: int
+    redundancy: int
+    config: PmcastConfig
+    loss_probability: float
+    crash_fraction: float
+    seed: int
+    event_id: int
+    max_rounds: int
+    publisher: int
+    own_match: np.ndarray
+    tables: List[_DepthTables] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return self.arity ** self.depth
+
+    @property
+    def shard_size(self) -> int:
+        """One depth-1 subtree per shard."""
+        return self.arity ** (self.depth - 1)
+
+    @property
+    def num_shards(self) -> int:
+        return self.arity
+
+    @classmethod
+    def build(
+        cls,
+        arity: int,
+        depth: int,
+        own_match: np.ndarray,
+        config: Optional[PmcastConfig] = None,
+        sim_config: Optional[SimConfig] = None,
+        publisher: int = 0,
+        event_id: int = 0,
+    ) -> "RegularTreeSpec":
+        config = config or PmcastConfig()
+        sim_config = sim_config or SimConfig()
+        if depth < 2:
+            raise VectorUnsupported(
+                "sharded subtree simulation needs tree depth >= 2"
+            )
+        if arity < 2:
+            raise VectorUnsupported("regular tree arity must be >= 2")
+        if config.redundancy > arity:
+            raise VectorUnsupported(
+                f"redundancy R={config.redundancy} exceeds arity {arity}: "
+                "the smallest child blocks cannot seat R delegates"
+            )
+        if config.local_interest_shortcut:
+            raise VectorUnsupported(
+                "the §3.2 shortcut is publisher-local state the regular-"
+                "tree kernel does not model"
+            )
+        n = arity ** depth
+        own_match = np.asarray(own_match, dtype=bool)
+        if own_match.shape != (n,):
+            raise VectorUnsupported(
+                f"own_match must have shape ({n},), got {own_match.shape}"
+            )
+        if not 0 <= publisher < n:
+            raise VectorUnsupported(f"publisher index {publisher} out of range")
+        spec = cls(
+            arity=arity,
+            depth=depth,
+            redundancy=config.redundancy,
+            config=config,
+            loss_probability=sim_config.loss_probability,
+            crash_fraction=sim_config.crash_fraction,
+            seed=sim_config.seed,
+            event_id=event_id,
+            max_rounds=sim_config.max_rounds,
+            publisher=publisher,
+            own_match=own_match,
+        )
+        spec.tables = spec._build_tables()
+        return spec
+
+    def _build_tables(self) -> List[_DepthTables]:
+        a, d, r = self.arity, self.depth, self.redundancy
+        config = self.config
+        tables: List[_DepthTables] = []
+        for depth in range(1, d + 1):
+            block = a ** (d - depth + 1)
+            child = a ** (d - depth)
+            num_sub = self.size // block
+            if depth < d:
+                child_any = self.own_match.reshape(num_sub * a, child).any(
+                    axis=1
+                )
+                rows = child_any.reshape(num_sub, a)
+                ent = np.repeat(rows, r, axis=1)
+                length = a * r
+                template = (
+                    np.arange(a)[:, None] * child + np.arange(r)
+                ).ravel()
+            else:
+                ent = self.own_match.reshape(num_sub, a).copy()
+                length = a
+                template = np.arange(a)
+            if config.threshold_h > 0:
+                need = ent.sum(axis=1) < config.threshold_h
+                if need.any():
+                    # §5.3: conscript the first h view entries.
+                    ent[need] |= np.arange(length) < config.threshold_h
+            rate = ent.sum(axis=1) / length
+            tables.append(
+                _DepthTables(
+                    block=block,
+                    child=child,
+                    length=length,
+                    template=template,
+                    eff_mask=ent,
+                    rate=rate,
+                    bound=_vector_bounds(length, rate, config),
+                    flood=(
+                        rate >= config.leaf_flood_threshold
+                        if depth == d
+                        else None
+                    ),
+                )
+            )
+        return tables
+
+
+@dataclass
+class ShardState:
+    """The mutable struct-of-arrays state of one depth-1 subtree.
+
+    Round-trips through the :class:`~repro.par.TrialExecutor` between
+    waves; carries its spec so a wave task is one self-contained
+    picklable object.
+    """
+
+    spec: RegularTreeSpec
+    shard: int
+    base: int
+    alive: np.ndarray       # bool (B,)
+    received: np.ndarray    # bool (B,)
+    buf_depth: np.ndarray   # int8 (B,), 0 = not buffered
+    buf_round: np.ndarray   # int16 (B,)
+    doomed: np.ndarray      # bool (B,)
+    doom_round: np.ndarray  # int32 (B,)
+    crash_cursor: int = 0
+    sent: int = 0
+    recv: int = 0
+    lost: int = 0
+    dist: np.ndarray = None  # (depth,) int64 distance buckets
+
+    @classmethod
+    def create(
+        cls, spec: RegularTreeSpec, shard: int, publisher_immune: bool = True
+    ) -> "ShardState":
+        """Initial state: everyone clean, crash plan pre-drawn.
+
+        The crash stream is per shard (label ``"vcrash"``), so the plan
+        is identical at any worker count.  ``publisher_immune`` mirrors
+        the conformance harness's convention of never crashing the
+        publisher (a dead publisher measures nothing).
+        """
+        size = spec.shard_size
+        base = shard * size
+        rng = np.random.default_rng(
+            derive_seed(spec.seed, "vcrash", spec.event_id, shard)
+        )
+        tau = spec.crash_fraction
+        if tau > 0.0:
+            doomed = rng.random(size) < tau
+            doom_round = rng.integers(
+                0, spec.max_rounds, size, dtype=np.int32
+            )
+        else:
+            doomed = np.zeros(size, dtype=bool)
+            doom_round = np.zeros(size, dtype=np.int32)
+        state = cls(
+            spec=spec,
+            shard=shard,
+            base=base,
+            alive=np.ones(size, dtype=bool),
+            received=np.zeros(size, dtype=bool),
+            buf_depth=np.zeros(size, dtype=np.int8),
+            buf_round=np.zeros(size, dtype=np.int16),
+            doomed=doomed,
+            doom_round=doom_round,
+            dist=np.zeros(spec.depth, dtype=np.int64),
+        )
+        publisher = spec.publisher
+        if base <= publisher < base + size:
+            local = publisher - base
+            if publisher_immune:
+                state.doomed[local] = False
+            # PMCAST bootstrap: buffer at depth 1, round 0.
+            state.received[local] = True
+            state.buf_depth[local] = 1
+        return state
+
+    @property
+    def busy(self) -> bool:
+        """True while a live member is still gossiping."""
+        return bool((self.alive & (self.buf_depth > 0)).any())
+
+    @property
+    def infected(self) -> int:
+        return int(self.received.sum())
+
+
+def _advance_crashes(state: ShardState, upto: int) -> None:
+    """Apply every crash scheduled in rounds [cursor, upto)."""
+    if state.crash_cursor >= upto:
+        return
+    sel = (
+        state.doomed
+        & (state.doom_round >= state.crash_cursor)
+        & (state.doom_round < upto)
+    )
+    if sel.any():
+        state.alive[sel] = False
+    state.crash_cursor = upto
+
+
+def _draw_distinct(gen, rows: int, n: int, k: int) -> np.ndarray:
+    """``rows`` independent draws of ``k`` distinct values below ``n``.
+
+    Rejection sampling over whole rows: a row with a repeated value is
+    redrawn until clean, which conditions the uniform i.i.d. matrix on
+    per-row distinctness — the distribution of an ordered sample
+    without replacement.
+    """
+    draws = gen.integers(0, n, size=(rows, k))
+    while True:
+        ordered = np.sort(draws, axis=1)
+        bad = (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+        if not bad.any():
+            return draws
+        draws[bad] = gen.integers(0, n, size=(int(bad.sum()), k))
+
+
+def _apply_receptions(
+    state: ShardState,
+    local: np.ndarray,
+    depths: np.ndarray,
+    rounds: np.ndarray,
+) -> None:
+    """RECEIVE for a batch of envelopes, first-in-batch-order wins."""
+    ok = state.alive[local]
+    if not ok.all():
+        local, depths, rounds = local[ok], depths[ok], rounds[ok]
+    state.recv += int(local.size)
+    if not local.size:
+        return
+    fresh = ~state.received[local]
+    if not fresh.any():
+        return
+    local, depths, rounds = local[fresh], depths[fresh], rounds[fresh]
+    uniq, first = np.unique(local, return_index=True)
+    state.received[uniq] = True
+    state.buf_depth[uniq] = depths[first]
+    state.buf_round[uniq] = rounds[first]
+
+
+def run_shard_wave(
+    state: ShardState,
+    inbound_dest: Optional[np.ndarray],
+    inbound_round: Optional[np.ndarray],
+    round_index: int,
+) -> Tuple[ShardState, np.ndarray, np.ndarray, bool, int]:
+    """One synchronous round for one shard.
+
+    Wave order reproduces the unsharded engine's timing exactly:
+    envelopes that crossed a shard boundary in round ``r`` are applied
+    at the start of wave ``r+1``, *before* round ``r+1``'s crashes —
+    the same protocol state a monolithic round loop reaches, because a
+    round-``r`` reception is only ever acted on in round ``r+1``.
+    (Only the infection curve sees cross-shard receptions one round
+    late; final counts are unaffected.)
+
+    Returns ``(state, out_dest, out_round, busy, infected)`` where the
+    out arrays are the surviving cross-shard envelopes (always depth 1
+    — deeper gossip stays inside the sender's depth-1 block).
+    """
+    spec = state.spec
+    base = state.base
+    depth_count = spec.depth
+    fanout = spec.config.fanout
+    redundancy = spec.redundancy
+
+    _advance_crashes(state, round_index)
+    if inbound_dest is not None and inbound_dest.size:
+        _apply_receptions(
+            state,
+            inbound_dest - base,
+            np.ones(inbound_dest.size, dtype=np.int8),
+            inbound_round,
+        )
+    _advance_crashes(state, round_index + 1)
+
+    gen = np.random.default_rng(
+        derive_seed(spec.seed, "subtree", spec.event_id, state.shard, round_index)
+    )
+
+    env_dest: List[np.ndarray] = []
+    env_depth: List[np.ndarray] = []
+    env_round: List[np.ndarray] = []
+    env_sender: List[np.ndarray] = []
+
+    for depth in range(1, depth_count + 1):
+        table = spec.tables[depth - 1]
+        sel = np.nonzero(state.alive & (state.buf_depth == depth))[0]
+        if sel.size == 0:
+            continue
+        sub = (sel + base) // table.block
+
+        if table.flood is not None:
+            flooding = table.flood[sub]
+            if flooding.any():
+                flooders = sel[flooding]
+                sub_f = sub[flooding]
+                mask = table.eff_mask[sub_f].copy()
+                selfrel = (flooders + base) % table.block
+                mask[np.arange(flooders.size), selfrel] = False
+                row_idx, col = np.nonzero(mask)
+                env_dest.append(sub_f[row_idx] * table.block + col)
+                env_depth.append(
+                    np.full(row_idx.size, depth, dtype=np.int8)
+                )
+                env_round.append(
+                    state.buf_round[flooders][row_idx].astype(np.int16)
+                )
+                env_sender.append(flooders[row_idx] + base)
+                state.buf_depth[flooders] = 0
+                sel = sel[~flooding]
+                sub = sub[~flooding]
+                if sel.size == 0:
+                    continue
+
+        bound = table.bound[sub]
+        live = state.buf_round[sel] < bound
+        expired = sel[~live]
+        if expired.size:
+            if depth < depth_count:
+                # Demotion: picked up again at depth+1 in this same
+                # wave, exactly the scalar cascade.
+                state.buf_depth[expired] = depth + 1
+                state.buf_round[expired] = 0
+            else:
+                state.buf_depth[expired] = 0
+        gossipers = sel[live]
+        if gossipers.size == 0:
+            continue
+        state.buf_round[gossipers] += 1
+        sub_g = sub[live]
+        rounds_g = state.buf_round[gossipers].astype(np.int16)
+        selfrel = (gossipers + base) % table.block
+        if depth < depth_count:
+            child = selfrel // table.child
+            remainder = selfrel % table.child
+            selfpos = np.where(
+                remainder < redundancy, child * redundancy + remainder, -1
+            )
+        else:
+            selfpos = selfrel
+        for has_self in (False, True):
+            pick = (selfpos >= 0) == has_self
+            if not pick.any():
+                continue
+            candidates = table.length - (1 if has_self else 0)
+            if candidates <= 0:
+                continue
+            rows = int(pick.sum())
+            count = min(fanout, candidates)
+            if count == candidates:
+                draws = np.tile(np.arange(candidates), (rows, 1))
+            else:
+                draws = _draw_distinct(gen, rows, candidates, count)
+            if has_self:
+                draws = draws + (draws >= selfpos[pick][:, None])
+            sub_p = sub_g[pick]
+            keep = table.eff_mask[sub_p[:, None], draws]
+            dest = sub_p[:, None] * table.block + table.template[draws]
+            shape = (rows, count)
+            env_dest.append(dest[keep])
+            env_depth.append(
+                np.full(int(keep.sum()), depth, dtype=np.int8)
+            )
+            env_round.append(
+                np.broadcast_to(rounds_g[pick][:, None], shape)[keep]
+            )
+            env_sender.append(
+                np.broadcast_to(
+                    (gossipers[pick] + base)[:, None], shape
+                )[keep]
+            )
+
+    if env_dest:
+        dest = np.concatenate(env_dest)
+        depths = np.concatenate(env_depth)
+        rounds = np.concatenate(env_round)
+        senders = np.concatenate(env_sender)
+    else:
+        dest = np.empty(0, dtype=np.int64)
+        depths = np.empty(0, dtype=np.int8)
+        rounds = np.empty(0, dtype=np.int16)
+        senders = np.empty(0, dtype=np.int64)
+
+    total = int(dest.size)
+    state.sent += total
+    if total:
+        # §2.2 distance accounting, pre-loss.
+        common = np.zeros(total, dtype=np.int64)
+        for level in range(1, depth_count + 1):
+            block = spec.arity ** (depth_count - level)
+            common += senders // block == dest // block
+        np.add.at(state.dist, depth_count - 1 - common, 1)
+        if spec.loss_probability > 0.0:
+            kept = gen.random(total) >= spec.loss_probability
+            state.lost += total - int(kept.sum())
+            dest, depths, rounds = dest[kept], depths[kept], rounds[kept]
+
+    shard_size = spec.shard_size
+    cross = dest // shard_size != state.shard
+    out_dest = dest[cross]
+    out_round = rounds[cross]
+    if (~cross).any():
+        _apply_receptions(
+            state, dest[~cross] - base, depths[~cross], rounds[~cross]
+        )
+
+    return state, out_dest, out_round, state.busy, state.infected

@@ -19,11 +19,16 @@ then frozen (docs/VALIDATION.md records the calibration numbers), so a
 regression that moves simulation or analysis by more than the known
 model error fails the gate.
 
-Four suites cover the acceptance surface:
+Five suites cover the acceptance surface:
 
 * ``flat`` — flat-group infection ``E[s_t]`` vs Eqs 8–10;
 * ``rounds`` — rounds-to-95%-saturation vs Eq 11;
 * ``tree`` — delivery / false-reception ratios vs Eqs 12–18;
+* ``scale`` — the same Eqs 12–18 ratios at paper scale and beyond
+  (n = 22³ up to 100³ = 10⁶), produced by the sharded
+  struct-of-arrays kernel (:mod:`repro.par.subtree`) — the scalar
+  engine cannot reach these sizes, so the oracle bands double as the
+  large-n validation of the vectorized path;
 * ``faults`` — deterministic executable oracles for the fault plane
   (a partition yields zero cross-traffic, crashing all delegates
   strands the subtree, a total blackout stops dissemination, a
@@ -47,6 +52,7 @@ from repro.faults import FaultPlan
 from repro.interests import Event, StaticInterest
 from repro.par.executor import TrialExecutor
 from repro.par.seeds import derive_seed
+from repro.par.subtree import build_regular_spec, run_sharded_dissemination
 from repro.par.worker import worker_registry
 from repro.sim import (
     CrashSchedule,
@@ -72,7 +78,7 @@ __all__ = [
 REPORT_SCHEMA = "repro.validate/v1"
 
 #: The suites, in execution order.
-SUITES = ("flat", "rounds", "tree", "faults")
+SUITES = ("flat", "rounds", "tree", "scale", "faults")
 
 #: The (ε, τ) grid every statistical suite sweeps (≥ 3 settings).
 DEFAULT_SETTINGS: Tuple[Tuple[float, float], ...] = (
@@ -560,6 +566,102 @@ def _run_tree_suite(
     return checks
 
 
+# -- the scale suite (Eqs 12-18 at paper scale and beyond) ---------------
+
+#: (arity, depth) points of the scale suite; quick runs keep only the
+#: paper-scale point (22³ = 10648 members).
+SCALE_POINTS_FULL = ((22, 3), (47, 3), (100, 3))
+SCALE_POINTS_QUICK = ((22, 3),)
+
+
+def _run_scale_suite(
+    settings: Sequence[Tuple[float, float]],
+    trials: int,
+    seed: int,
+    executor: TrialExecutor,
+    quick: bool,
+) -> List[CheckResult]:
+    """Large-n delivery / false-reception conformance.
+
+    Trials run in the coordinating process; the *waves* of each trial
+    fan out one depth-1 subtree per worker through ``executor``, so a
+    ``--jobs auto`` conformance run exercises the sharded kernel while
+    the report stays byte-identical to a serial one (the kernel's seed
+    contract is per ``(shard, round)``, independent of scheduling).
+    """
+    redundancy, fanout, p_d = 3, 3, 0.25
+    points = SCALE_POINTS_QUICK if quick else SCALE_POINTS_FULL
+    config = PmcastConfig(
+        fanout=fanout, redundancy=redundancy, min_rounds_per_depth=2
+    )
+    checks: List[CheckResult] = []
+    for arity, depth in points:
+        for eps, tau in settings:
+            delivery_samples: List[float] = []
+            false_samples: List[float] = []
+            for trial in range(trials):
+                trial_seed = derive_seed(
+                    seed, ("scale", arity, depth, eps, tau), trial
+                )
+                spec = build_regular_spec(
+                    arity,
+                    depth,
+                    p_d,
+                    config=config,
+                    sim_config=SimConfig(
+                        seed=trial_seed,
+                        loss_probability=eps,
+                        crash_fraction=tau,
+                        max_rounds=64,
+                    ),
+                    event_id=1,
+                )
+                report = run_sharded_dissemination(spec, executor=executor)
+                worker_registry().counter("validate.scale", "trials").inc()
+                if report.interested == 0:
+                    continue
+                delivery_samples.append(report.delivery_ratio)
+                false_samples.append(report.false_reception_ratio)
+            params = {
+                "n": arity ** depth,
+                "arity": arity,
+                "depth": depth,
+                "redundancy": redundancy,
+                "fanout": fanout,
+                "matching_rate": p_d,
+                "eps": eps,
+                "tau": tau,
+            }
+            n = arity ** depth
+            checks.append(
+                _check(
+                    "scale",
+                    f"delivery[n={n},eps={eps},tau={tau}]",
+                    oracles.EQUATIONS["tree_delivery"],
+                    oracles.tree_delivery_prediction(
+                        p_d, arity, depth, redundancy, fanout, eps, tau
+                    ),
+                    delivery_samples,
+                    TREE_DELIVERY_BAND,
+                    params,
+                )
+            )
+            checks.append(
+                _check(
+                    "scale",
+                    f"false_reception[n={n},eps={eps},tau={tau}]",
+                    oracles.EQUATIONS["tree_false_reception"],
+                    oracles.tree_false_reception_prediction(
+                        p_d, arity, depth, redundancy, fanout, eps, tau
+                    ),
+                    false_samples,
+                    TREE_FALSE_BAND,
+                    params,
+                )
+            )
+    return checks
+
+
 # -- the faults suite (deterministic oracles) ----------------------------
 
 
@@ -657,7 +759,12 @@ def _run_faults_suite(seed: int) -> List[CheckResult]:
 
 
 #: Per-suite default trial counts: (full, quick).
-_TRIALS = {"flat": (40, 12), "rounds": (30, 10), "tree": (25, 8)}
+_TRIALS = {
+    "flat": (40, 12),
+    "rounds": (30, 10),
+    "tree": (25, 8),
+    "scale": (3, 3),
+}
 
 
 def run_conformance(
@@ -733,6 +840,10 @@ def run_conformance(
                 )
             elif suite == "tree":
                 checks.extend(_run_tree_suite(grid, count, seed, executor))
+            elif suite == "scale":
+                checks.extend(
+                    _run_scale_suite(grid, count, seed, executor, quick)
+                )
     finally:
         if owns_executor:
             executor.close()

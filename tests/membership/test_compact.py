@@ -1,0 +1,104 @@
+"""CompactViewTable: array snapshots of the membership view tables."""
+
+import numpy as np
+import pytest
+
+from repro.addressing import AddressSpace
+from repro.config import PmcastConfig
+from repro.errors import MembershipError
+from repro.interests import StaticInterest
+from repro.membership import CompactViewTable
+from repro.sim import PmcastGroup
+
+
+@pytest.fixture()
+def group():
+    space = AddressSpace.regular(4, 2)
+    members = {
+        address: StaticInterest(True)
+        for address in space.enumerate_regular(4)
+    }
+    return PmcastGroup.build(
+        members, PmcastConfig(fanout=2, redundancy=2)
+    )
+
+
+@pytest.fixture()
+def index_of(group):
+    return {
+        address: position
+        for position, address in enumerate(sorted(group.addresses()))
+    }
+
+
+def _root_table(group):
+    witness = sorted(group.addresses())[0]
+    return group.node(witness).view(1)
+
+
+class TestFromTable:
+    def test_structure(self, group, index_of):
+        table = _root_table(group)
+        compact = CompactViewTable.from_table(table, index_of)
+        assert compact.row_count == len(table.rows())
+        assert compact.entry_count == sum(
+            len(row.delegates) for row in table.rows()
+        )
+        assert compact.depth == table.depth
+        assert compact.tree_depth == table.tree_depth
+        assert compact.cache_token == table.cache_token
+        for position, row in enumerate(table.rows()):
+            expected = [index_of[d] for d in row.delegates]
+            assert compact.row_delegates(position).tolist() == expected
+
+    def test_arrays_are_frozen(self, group, index_of):
+        compact = CompactViewTable.from_table(_root_table(group), index_of)
+        with pytest.raises(ValueError):
+            compact.delegate_indices[0] = 99
+
+    def test_unknown_delegate_rejected(self, group):
+        with pytest.raises(MembershipError):
+            CompactViewTable.from_table(_root_table(group), {})
+
+
+class TestDigest:
+    def test_equal_states_digest_equal(self, group, index_of):
+        table = _root_table(group)
+        first = CompactViewTable.from_table(table, index_of)
+        second = CompactViewTable.from_table(table, index_of)
+        assert first.digest() == second.digest()
+
+    def test_different_tables_digest_differently(self, group, index_of):
+        witness = sorted(group.addresses())[0]
+        root = CompactViewTable.from_table(
+            group.node(witness).view(1), index_of
+        )
+        leaf = CompactViewTable.from_table(
+            group.node(witness).view(2), index_of
+        )
+        assert root.digest() != leaf.digest()
+
+    def test_timestamps_by_infix_matches_view_digest(self, group, index_of):
+        table = _root_table(group)
+        compact = CompactViewTable.from_table(table, index_of)
+        assert compact.timestamps_by_infix() == table.digest()
+
+
+class TestExpandRowFlags:
+    def test_repeats_per_row(self, group, index_of):
+        compact = CompactViewTable.from_table(_root_table(group), index_of)
+        flags = [bool(i % 2) for i in range(compact.row_count)]
+        expanded = compact.expand_row_flags(flags)
+        assert len(expanded) == compact.entry_count
+        cursor = 0
+        for position, flag in enumerate(flags):
+            width = (
+                compact.row_ptr[position + 1] - compact.row_ptr[position]
+            )
+            assert np.all(expanded[cursor:cursor + width] == flag)
+            cursor += width
+
+    def test_wrong_length_rejected(self, group, index_of):
+        compact = CompactViewTable.from_table(_root_table(group), index_of)
+        with pytest.raises(MembershipError):
+            compact.expand_row_flags([True] * (compact.row_count + 1))

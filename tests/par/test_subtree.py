@@ -1,0 +1,107 @@
+"""Sharded subtree dissemination: determinism at any worker count."""
+
+import numpy as np
+import pytest
+
+from repro.config import PmcastConfig, SimConfig
+from repro.errors import SimulationError
+from repro.par import (
+    TrialExecutor,
+    build_regular_spec,
+    run_sharded_dissemination,
+)
+
+CONFIG = PmcastConfig(fanout=3, redundancy=3, min_rounds_per_depth=2)
+
+
+def _spec(arity=5, depth=3, eps=0.05, tau=0.02, seed=7):
+    return build_regular_spec(
+        arity,
+        depth,
+        0.25,
+        config=CONFIG,
+        sim_config=SimConfig(
+            seed=seed,
+            loss_probability=eps,
+            crash_fraction=tau,
+            max_rounds=48,
+        ),
+        event_id=1,
+    )
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        first = run_sharded_dissemination(_spec())
+        second = run_sharded_dissemination(_spec())
+        assert first == second
+
+    def test_serial_vs_pool_identical(self):
+        serial = run_sharded_dissemination(_spec())
+        with TrialExecutor(jobs=2) as pool:
+            parallel = run_sharded_dissemination(_spec(), executor=pool)
+        assert parallel == serial
+
+    def test_seed_changes_outcome(self):
+        first = run_sharded_dissemination(_spec(seed=7))
+        second = run_sharded_dissemination(_spec(seed=8))
+        assert first != second
+
+
+class TestReportShape:
+    def test_lossless_run_delivers_everyone(self):
+        report = run_sharded_dissemination(_spec(eps=0.0, tau=0.0))
+        assert report.group_size == 125
+        assert report.delivered_interested == report.interested
+        assert report.messages_lost == 0
+        assert report.crashed == 0
+        assert report.rounds < 48
+        assert len(report.infection_curve) == report.rounds
+        assert sum(report.messages_by_distance) == report.messages_sent
+
+    def test_faulted_run_accounts_consistently(self):
+        report = run_sharded_dissemination(_spec(eps=0.2, tau=0.1))
+        assert report.delivered_interested <= report.interested
+        assert report.messages_lost <= report.messages_sent
+        assert 0 < report.crashed < report.group_size
+        # The curve is non-decreasing: receptions are never forgotten.
+        curve = report.infection_curve
+        assert all(a <= b for a, b in zip(curve, curve[1:]))
+
+    def test_publisher_defaults_to_first_interested(self):
+        spec = _spec()
+        assert bool(spec.own_match[spec.publisher])
+        assert not spec.own_match[: spec.publisher].any()
+
+    def test_explicit_publisher(self):
+        spec = build_regular_spec(
+            4, 2, 0.5, config=PmcastConfig(fanout=2, redundancy=2),
+            sim_config=SimConfig(seed=3), publisher=9,
+        )
+        assert spec.publisher == 9
+        report = run_sharded_dissemination(spec)
+        assert report.received_total >= 1
+
+    def test_crash_immunity_default(self):
+        # With publisher_immune the publisher's doom is cleared, so the
+        # dissemination always starts.
+        spec = _spec(tau=0.5)
+        report = run_sharded_dissemination(spec)
+        assert report.received_total >= 1
+
+
+class TestBuildValidation:
+    def test_rejects_bad_interest_rate(self):
+        with pytest.raises(SimulationError):
+            build_regular_spec(4, 2, 1.5)
+
+    def test_interests_derive_from_seed(self):
+        a = build_regular_spec(
+            4, 2, 0.5, sim_config=SimConfig(seed=1),
+            config=PmcastConfig(fanout=2, redundancy=2),
+        )
+        b = build_regular_spec(
+            4, 2, 0.5, sim_config=SimConfig(seed=1),
+            config=PmcastConfig(fanout=2, redundancy=2),
+        )
+        assert np.array_equal(a.own_match, b.own_match)

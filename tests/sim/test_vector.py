@@ -1,0 +1,365 @@
+"""The struct-of-arrays fast path: bit-identity and invariants.
+
+Two kernels live in :mod:`repro.sim.vector`:
+
+* the **compat kernel** (``try_run_vectorized``) replays the scalar
+  engine's RNG draws position-for-position, so an eligible run under
+  ``SimConfig(vectorized=True)`` must be *bit-identical* to the scalar
+  loop — same report, same per-node outcome.  The suite sweeps the
+  protocol switch matrix (loss, crashes, §5.3 tuning, §6 leaf flood,
+  §3.2 shortcut) and checks both.
+* the **regular-tree kernel** (``RegularTreeSpec``/``run_shard_wave``)
+  has its own per-``(shard, round)`` seed contract; its transition
+  invariants are property-tested here (the statistical validation
+  lives in the conformance harness's ``scale`` suite).
+"""
+
+import os
+import random
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addressing import AddressSpace
+from repro.config import PmcastConfig, SimConfig
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+from repro.interests.events import Event
+from repro.sim import (
+    PmcastGroup,
+    RegularTreeSpec,
+    ShardState,
+    VectorUnsupported,
+    bernoulli_interests,
+    derive_rng,
+    run_dissemination,
+    run_shard_wave,
+)
+from repro.sim.vector import sample_positions
+
+
+class TestSamplePositions:
+    """The CPython ``random.sample`` mirror, position for position."""
+
+    @pytest.mark.parametrize(
+        "n,k",
+        [
+            (1, 1), (5, 1), (5, 5), (10, 3),          # pool branch
+            (100, 2), (1000, 3), (10648, 6),          # selection-set branch
+            (50, 20), (64, 8),
+        ],
+    )
+    def test_matches_random_sample(self, n, k):
+        for seed in range(5):
+            expected = random.Random(seed).sample(range(n), k)
+            mirrored = sample_positions(
+                random.Random(seed)._randbelow, n, k
+            )
+            assert mirrored == expected
+
+
+def _build_group(config, seed=11, arity=4, depth=3):
+    space = AddressSpace.regular(arity, depth)
+    addresses = space.enumerate_regular(arity)
+    members = bernoulli_interests(
+        addresses, 0.3, derive_rng(seed, "vector-int")
+    )
+    return PmcastGroup.build(members, config), addresses
+
+
+def _run_pair(config, sim_kwargs, seed=11, arity=4, depth=3, faults=None):
+    """The same dissemination, scalar then vectorized, on fresh groups."""
+    event = Event({"golden": 1}, event_id=42)
+    outcomes = []
+    for vectorized in (False, True):
+        group, addresses = _build_group(config, seed, arity, depth)
+        report = run_dissemination(
+            group,
+            addresses[0],
+            event,
+            SimConfig(seed=seed, vectorized=vectorized, **sim_kwargs),
+            faults=faults,
+        )
+        nodes = {
+            str(a): (
+                group.node(a).alive,
+                group.node(a).has_received(event),
+                group.node(a).has_delivered(event),
+                group.node(a).messages_sent,
+                group.node(a).receptions,
+            )
+            for a in addresses
+        }
+        outcomes.append((report, nodes))
+    return outcomes
+
+
+MATRIX = [
+    ("plain", PmcastConfig(fanout=2, redundancy=2), {}),
+    ("lossy", PmcastConfig(fanout=2, redundancy=2),
+     {"loss_probability": 0.1}),
+    ("crashy", PmcastConfig(fanout=2, redundancy=2),
+     {"crash_fraction": 0.05}),
+    ("lossy_crashy", PmcastConfig(fanout=3, redundancy=3),
+     {"loss_probability": 0.05, "crash_fraction": 0.03}),
+    ("tuned_h", PmcastConfig(fanout=2, redundancy=2, threshold_h=2),
+     {"loss_probability": 0.05}),
+    ("leaf_flood", PmcastConfig(fanout=2, redundancy=2,
+                                leaf_flood_threshold=0.2), {}),
+    ("shortcut", PmcastConfig(fanout=2, redundancy=2,
+                              local_interest_shortcut=True), {}),
+    ("min_rounds", PmcastConfig(fanout=3, redundancy=3,
+                                min_rounds_per_depth=2),
+     {"loss_probability": 0.1, "crash_fraction": 0.02}),
+]
+
+
+class TestCompatBitIdentity:
+    @pytest.mark.parametrize(
+        "config,sim_kwargs", [m[1:] for m in MATRIX],
+        ids=[m[0] for m in MATRIX],
+    )
+    def test_report_and_node_state_identical(self, config, sim_kwargs):
+        (scalar_report, scalar_nodes), (vector_report, vector_nodes) = (
+            _run_pair(config, sim_kwargs)
+        )
+        assert vector_report == scalar_report
+        assert vector_nodes == scalar_nodes
+
+    def test_multiple_seeds(self):
+        config = PmcastConfig(fanout=2, redundancy=2)
+        for seed in range(3):
+            scalar, vector = _run_pair(
+                config, {"loss_probability": 0.05}, seed=seed
+            )
+            assert vector[0] == scalar[0]
+
+    @pytest.mark.slow
+    def test_paper_scale_identical(self):
+        config = PmcastConfig(fanout=3, redundancy=3)
+        scalar, vector = _run_pair(config, {}, arity=22, depth=3)
+        assert vector[0] == scalar[0]
+
+    def test_faulted_run_falls_back_and_stays_equal(self):
+        # A fault plan disables the fast path (the injector owns the
+        # transmit step); vectorized=True must still reproduce the
+        # scalar faulted run exactly because the dispatch declines
+        # before touching any RNG stream.
+        config = PmcastConfig(fanout=2, redundancy=2)
+        plan = FaultPlan(name="burst").with_loss_burst(2, 4, 0.5)
+        scalar, vector = _run_pair(
+            config, {"loss_probability": 0.05}, faults=plan
+        )
+        assert vector[0] == scalar[0]
+        assert vector[1] == scalar[1]
+
+    def test_link_rules_fall_back(self):
+        from repro.sim.network import LossyNetwork
+
+        config = PmcastConfig(fanout=2, redundancy=2)
+        event = Event({"golden": 1}, event_id=42)
+        reports = []
+        for vectorized in (False, True):
+            group, addresses = _build_group(config)
+            network = LossyNetwork(0.0, derive_rng(11, "network", 42))
+            network.block(
+                lambda sender, dest: (sender, dest)
+                == (addresses[1], addresses[2])
+            )
+            reports.append(
+                run_dissemination(
+                    group,
+                    addresses[0],
+                    event,
+                    SimConfig(seed=11, vectorized=vectorized),
+                    network=network,
+                )
+            )
+        assert reports[0] == reports[1]
+
+    def test_hash_seed_independent(self):
+        digests = []
+        script = textwrap.dedent(
+            """
+            from repro.addressing import AddressSpace
+            from repro.config import PmcastConfig, SimConfig
+            from repro.interests.events import Event
+            from repro.sim import (
+                PmcastGroup, bernoulli_interests, derive_rng,
+                run_dissemination,
+            )
+            space = AddressSpace.regular(4, 3)
+            addresses = space.enumerate_regular(4)
+            members = bernoulli_interests(
+                addresses, 0.3, derive_rng(11, "vector-int")
+            )
+            group = PmcastGroup.build(
+                members, PmcastConfig(fanout=2, redundancy=2)
+            )
+            report = run_dissemination(
+                group, addresses[0], Event({"golden": 1}, event_id=42),
+                SimConfig(seed=11, loss_probability=0.05, vectorized=True),
+            )
+            print(report)
+            """
+        )
+        for hash_seed in ("1", "4242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            digests.append(result.stdout)
+        assert digests[0] == digests[1]
+
+
+class TestRegularTreeSpec:
+    def test_rejects_shallow_trees(self):
+        with pytest.raises(VectorUnsupported):
+            RegularTreeSpec.build(
+                4, 1, np.zeros(4, dtype=bool),
+                config=PmcastConfig(fanout=2, redundancy=2),
+                sim_config=SimConfig(),
+            )
+
+    def test_rejects_redundancy_above_arity(self):
+        with pytest.raises(VectorUnsupported):
+            RegularTreeSpec.build(
+                2, 2, np.zeros(4, dtype=bool),
+                config=PmcastConfig(fanout=2, redundancy=3),
+                sim_config=SimConfig(),
+            )
+
+    def test_rejects_local_interest_shortcut(self):
+        with pytest.raises(VectorUnsupported):
+            RegularTreeSpec.build(
+                3, 2, np.ones(9, dtype=bool),
+                config=PmcastConfig(
+                    fanout=2, redundancy=2, local_interest_shortcut=True
+                ),
+                sim_config=SimConfig(),
+            )
+
+    def test_rejects_wrong_interest_shape(self):
+        with pytest.raises(VectorUnsupported):
+            RegularTreeSpec.build(
+                3, 2, np.ones(8, dtype=bool),
+                config=PmcastConfig(fanout=2, redundancy=2),
+                sim_config=SimConfig(),
+            )
+
+    def test_shard_geometry(self):
+        spec = RegularTreeSpec.build(
+            3, 3, np.ones(27, dtype=bool),
+            config=PmcastConfig(fanout=2, redundancy=2),
+            sim_config=SimConfig(),
+        )
+        assert spec.size == 27
+        assert spec.num_shards == 3
+        assert spec.shard_size == 9
+
+
+class TestShardWaveInvariants:
+    """Hypothesis invariants on the SoA state transitions."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        arity=st.sampled_from([3, 4, 5]),
+        fanout=st.integers(min_value=1, max_value=3),
+        eps=st.sampled_from([0.0, 0.1, 0.3]),
+        tau=st.sampled_from([0.0, 0.1]),
+    )
+    def test_transitions(self, seed, arity, fanout, eps, tau):
+        config = PmcastConfig(
+            fanout=fanout, redundancy=2, min_rounds_per_depth=1
+        )
+        sim = SimConfig(
+            seed=seed, loss_probability=eps, crash_fraction=tau,
+            max_rounds=24,
+        )
+        own = (
+            np.random.default_rng(seed).random(arity ** 2) < 0.5
+        )
+        spec = RegularTreeSpec.build(
+            arity, 2, own, config=config, sim_config=sim
+        )
+        states = {
+            shard: ShardState.create(spec, shard)
+            for shard in range(spec.num_shards)
+        }
+        prev = {
+            shard: states[shard].received.copy() for shard in states
+        }
+        pending = {}
+        for round_index in range(spec.max_rounds):
+            work = sorted(
+                shard for shard in states
+                if states[shard].busy or shard in pending
+            )
+            if not work:
+                break
+            incoming = pending
+            pending = {}
+            for shard in work:
+                inbound = incoming.get(shard, (None, None))
+                state, out_dest, out_round, busy, infected = run_shard_wave(
+                    states[shard], inbound[0], inbound[1], round_index
+                )
+                states[shard] = state
+                # Received is monotone: nobody forgets an event.
+                assert np.all(prev[shard] <= state.received)
+                prev[shard] = state.received.copy()
+                # Buffer depths stay inside Figure 3's ladder.
+                assert np.all(
+                    (state.buf_depth >= 0)
+                    & (state.buf_depth <= spec.depth)
+                )
+                # A buffered entry implies a reception (or the publish).
+                assert np.all(state.received[state.buf_depth > 0])
+                # The reported aggregates match the arrays.
+                assert infected == int(state.received.sum())
+                assert busy == bool(
+                    (state.alive & (state.buf_depth > 0)).any()
+                )
+                assert state.lost <= state.sent
+                if out_dest.size:
+                    # Only cross-shard envelopes are exported...
+                    assert np.all(
+                        out_dest // spec.shard_size != shard
+                    )
+                    # ...and they address real members.
+                    assert np.all((out_dest >= 0) & (out_dest < spec.size))
+                    for target in np.unique(out_dest // spec.shard_size):
+                        mask = out_dest // spec.shard_size == target
+                        slot = pending.setdefault(
+                            int(target), ([], [])
+                        )
+                        slot[0].append(out_dest[mask])
+                        slot[1].append(out_round[mask])
+            pending = {
+                shard: (np.concatenate(dests), np.concatenate(rounds))
+                for shard, (dests, rounds) in pending.items()
+            }
+        # The loop drained (or hit the cap) without losing count.
+        total = sum(int(state.received.sum()) for state in states.values())
+        assert 1 <= total <= spec.size
+
+
+class TestVectorizedConfigFlag:
+    def test_default_off(self):
+        assert SimConfig().vectorized is False
+
+    def test_flag_round_trips(self):
+        assert SimConfig(vectorized=True).vectorized is True
+
+    def test_invalid_loss_still_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(loss_probability=1.5, vectorized=True)
