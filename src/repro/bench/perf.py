@@ -49,14 +49,17 @@ import hashlib
 import json
 import os
 import platform
+import shutil
+import subprocess
 import sys
+import tempfile
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.addressing import AddressSpace
 from repro.config import PmcastConfig, SimConfig
 from repro.interests.events import Event
-from repro.obs import MetricsRegistry, Observer, TraceLog
+from repro.obs import MetricsRegistry, Observer, TimelineRecorder, TraceLog
 from repro.sim.rng import derive_rng
 from repro.sim.workload import bernoulli_interests, random_subscriptions
 
@@ -128,7 +131,8 @@ def _runtime_kwargs(mode: str) -> Dict[str, Any]:
 
 
 def _try_build_runtime(
-    members, config, sim_config, mode: str, registry, fault_plan=None
+    members, config, sim_config, mode: str, registry, fault_plan=None,
+    timeline=None,
 ):
     """Build an observed GroupRuntime, tolerating ablation signatures."""
     from repro.sim.runtime import GroupRuntime
@@ -141,7 +145,7 @@ def _try_build_runtime(
             members,
             config=config,
             sim_config=sim_config,
-            observer=Observer(registry=registry),
+            observer=Observer(registry=registry, timeline=timeline),
             **kwargs,
         )
     except TypeError:
@@ -151,7 +155,8 @@ def _try_build_runtime(
 
 
 def bench_round_loop(
-    arity: int, depth: int, seed: int, mode: str, max_rounds: int = 96
+    arity: int, depth: int, seed: int, mode: str, max_rounds: int = 96,
+    timeline: Optional[TimelineRecorder] = None,
 ) -> Optional[Dict[str, Any]]:
     """One live-runtime dissemination at scale: the §2.3 round loop."""
     space = AddressSpace.regular(arity, depth)
@@ -163,7 +168,8 @@ def bench_round_loop(
     registry = MetricsRegistry()
     started = time.perf_counter()
     runtime = _try_build_runtime(
-        members, config, SimConfig(seed=seed), mode, registry
+        members, config, SimConfig(seed=seed), mode, registry,
+        timeline=timeline,
     )
     if runtime is None:
         return None
@@ -557,7 +563,9 @@ def bench_sweep(
 
 
 def bench_scale_loop(
-    arity: int, depth: int, seed: int, mode: str
+    arity: int, depth: int, seed: int, mode: str,
+    timeline: Optional[TimelineRecorder] = None,
+    scale_trace: Optional[str] = None,
 ) -> Optional[Dict[str, Any]]:
     """Million-member scaling of the vectorized round loop.
 
@@ -575,6 +583,14 @@ def bench_scale_loop(
        rounds/sec, delivery ratio, completion, and peak RSS per point.
        ``speedup_sharded`` compares the ladder's first point (the bench
        scale) against the scalar engine.
+
+    ``timeline`` adds per-wave ``fan_out``/``exchange`` spans to the
+    ladder runs.  ``scale_trace`` additionally re-runs the *largest*
+    ladder point with sampled tracing on (rate ≈ 20 000 sampling keys
+    per kind, exact below that size), merges the per-shard files into
+    ``scale_trace``, and cross-checks the trace-derived delivery-ratio
+    estimate against the run's own report — the end-to-end proof that
+    sampled observability works at 10⁶ members.
     """
     from repro.par.subtree import build_regular_spec, run_sharded_dissemination
     from repro.sim.engine import run_dissemination
@@ -613,11 +629,16 @@ def bench_scale_loop(
         ladder = [(arity, depth), (11, 3), (22, 3)]
     seen = set()
     points: List[Dict[str, Any]] = []
+    largest: Optional[Dict[str, int]] = None
     for point_arity, point_depth in ladder:
         size = point_arity ** point_depth
         if size in seen:
             continue
         seen.add(size)
+        if largest is None or size > largest["size"]:
+            largest = {
+                "arity": point_arity, "depth": point_depth, "size": size
+            }
         started = time.perf_counter()
         spec = build_regular_spec(
             point_arity,
@@ -629,7 +650,7 @@ def bench_scale_loop(
         )
         build_seconds = time.perf_counter() - started
         started = time.perf_counter()
-        report = run_sharded_dissemination(spec)
+        report = run_sharded_dissemination(spec, timeline=timeline)
         seconds = time.perf_counter() - started
         points.append(
             {
@@ -647,7 +668,7 @@ def bench_scale_loop(
             }
         )
     sharded_seconds = points[0]["seconds"] if points else None
-    return {
+    result = {
         "members": len(addresses),
         "seconds": round(vector_seconds, 4),
         "seconds_scalar": round(scalar_seconds, 4),
@@ -662,6 +683,87 @@ def bench_scale_loop(
         else None,
         "sharded_points": points,
         "peak_rss_kb": _peak_rss_kb(),
+    }
+    if scale_trace is not None and largest is not None:
+        result["trace"] = _traced_scale_point(
+            largest["arity"],
+            largest["depth"],
+            seed,
+            config,
+            event.event_id,
+            scale_trace,
+            timeline=timeline,
+        )
+    return result
+
+
+def _traced_scale_point(
+    arity: int,
+    depth: int,
+    seed: int,
+    config: PmcastConfig,
+    event_id: int,
+    out_path: str,
+    timeline: Optional[TimelineRecorder] = None,
+) -> Dict[str, Any]:
+    """Re-run one sharded ladder point with sampled tracing on.
+
+    The sampling rate targets ~20 000 kept sampling keys per record
+    kind (exact, rate 1.0, below that size); the per-shard files are
+    merged into ``out_path`` and the trace-derived delivery-ratio
+    estimate is cross-checked against the run's own report.  The
+    tolerance is statistical: the estimator's relative standard error
+    at that key budget stays under a percent, so 0.05 only trips on a
+    real disagreement between the trace and the report.
+    """
+    from repro.obs.cli import summarize_trace
+    from repro.obs.sink import merge_traces
+    from repro.par.subtree import (
+        build_regular_spec,
+        run_sharded_dissemination,
+        shard_trace_path,
+    )
+
+    size = arity ** depth
+    rate = min(1.0, 20000.0 / size)
+    spec = build_regular_spec(
+        arity,
+        depth,
+        0.25,
+        config=config,
+        sim_config=SimConfig(seed=seed, max_rounds=96),
+        event_id=event_id,
+        trace_rate=rate,
+    )
+    trace_dir = tempfile.mkdtemp(prefix="repro-scale-trace-")
+    try:
+        started = time.perf_counter()
+        report = run_sharded_dissemination(
+            spec, trace_dir=trace_dir, timeline=timeline
+        )
+        seconds = time.perf_counter() - started
+        shards = [
+            shard_trace_path(trace_dir, shard)
+            for shard in range(spec.num_shards)
+        ]
+        records = merge_traces(shards, out_path)
+    finally:
+        shutil.rmtree(trace_dir, ignore_errors=True)
+    entry = summarize_trace(out_path)["events"][str(event_id)]
+    estimate = entry["delivery_ratio"]
+    return {
+        "path": out_path,
+        "members": size,
+        "sampling_rate": rate,
+        "records": records,
+        "seconds": round(seconds, 4),
+        "rounds": report.rounds,
+        "delivery_ratio_report": round(report.delivery_ratio, 4),
+        "delivery_ratio_estimate": round(estimate, 4),
+        "estimate_within_tolerance": abs(
+            estimate - report.delivery_ratio
+        )
+        <= 0.05,
     }
 
 
@@ -689,16 +791,36 @@ def run_suite(
     modes: Sequence[str] = ("current",),
     benches: Optional[Sequence[str]] = None,
     jobs: Any = "auto",
+    timeline_path: Optional[str] = None,
+    scale_trace: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the selected benchmarks and return the report structure.
 
     ``jobs`` is the worker count for the ``sweep`` benchmark's parallel
     leg (other benchmarks are single-process by nature).
+    ``timeline_path`` writes one ``repro.obs.timeline/v1`` JSONL file
+    spanning the whole suite (``round_loop`` and ``scale_loop`` open
+    per-round phase spans on it); ``scale_trace`` makes ``scale_loop``
+    re-run its largest ladder point with sampled tracing and merge the
+    shard traces there (see :func:`_traced_scale_point`).
     """
     selected = (
         list(benches)
         if benches
         else [name for name in _BENCHES if name not in _OPT_IN]
+    )
+    timeline = (
+        TimelineRecorder(
+            meta={
+                "producer": "repro.bench.perf",
+                "arity": arity,
+                "depth": depth,
+                "members": arity ** depth,
+                "seed": seed,
+            }
+        )
+        if timeline_path is not None
+        else None
     )
     results: Dict[str, Any] = {}
     for mode in modes:
@@ -706,11 +828,29 @@ def run_suite(
         for name in selected:
             if name == "sweep":
                 outcome = bench_sweep(arity, depth, seed, mode, jobs=jobs)
+            elif name == "round_loop":
+                outcome = bench_round_loop(
+                    arity, depth, seed, mode, timeline=timeline
+                )
+            elif name == "scale_loop":
+                outcome = bench_scale_loop(
+                    arity,
+                    depth,
+                    seed,
+                    mode,
+                    timeline=timeline,
+                    scale_trace=scale_trace if mode == "current" else None,
+                )
             else:
                 outcome = _BENCHES[name](arity, depth, seed, mode)
             if outcome is not None:
                 mode_results[name] = outcome
         results[mode] = mode_results
+    timeline_entries: Optional[int] = None
+    if timeline is not None:
+        timeline.probe_memory(subsystem="bench")
+        timeline_entries = timeline.to_jsonl(timeline_path)
+        timeline.close()
     report: Dict[str, Any] = {
         "schema": SCHEMA,
         "config": {
@@ -720,7 +860,13 @@ def run_suite(
             "seed": seed,
             "modes": list(modes),
         },
-        "environment": _environment(),
+        "environment": _environment(
+            artifacts={
+                "timeline": timeline_path,
+                "timeline_entries": timeline_entries,
+                "scale_trace": scale_trace,
+            }
+        ),
         "results": results,
     }
     if "current" in results and "legacy" in results:
@@ -730,22 +876,50 @@ def run_suite(
     return report
 
 
-def _environment() -> Dict[str, Any]:
+def _git_commit() -> Optional[str]:
+    """The repository HEAD commit, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else None
+
+
+def _environment(
+    artifacts: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """The report's environment block, captured at the end of the run
-    so ``peak_rss_kb`` covers the whole suite."""
+    so ``peak_rss_kb`` covers the whole suite.  ``git_commit`` pins the
+    code the numbers came from; ``artifacts`` records the side files
+    (timeline, merged scale trace) written alongside the report."""
     try:
         import numpy
 
         numpy_version: Optional[str] = numpy.__version__
     except ImportError:  # pragma: no cover - numpy is a baked-in dep
         numpy_version = None
-    return {
+    env = {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "numpy": numpy_version,
         "cpu_count": os.cpu_count(),
         "peak_rss_kb": _peak_rss_kb(),
+        "git_commit": _git_commit(),
     }
+    if artifacts:
+        recorded = {
+            key: value for key, value in artifacts.items() if value is not None
+        }
+        if recorded:
+            env["artifacts"] = recorded
+    return env
 
 
 def _identity_check(
@@ -889,6 +1063,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "(validate with `python -m repro.obs validate FILE`)",
     )
     parser.add_argument(
+        "--timeline",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write a repro.obs.timeline/v1 JSONL of wall-clock phase "
+        "spans (round_loop + scale_loop) covering the suite "
+        "(.gz compresses)",
+    )
+    parser.add_argument(
+        "--scale-trace",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="re-run scale_loop's largest ladder point with sampled "
+        "tracing and merge the shard traces here; the report records "
+        "the trace-derived delivery-ratio cross-check",
+    )
+    parser.add_argument(
         "--profile",
         type=str,
         default=None,
@@ -948,6 +1140,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             modes=modes,
             benches=benches,
             jobs=args.jobs,
+            timeline_path=args.timeline,
+            scale_trace=args.scale_trace,
         )
         profiler.disable()
         buffer = io.StringIO()
@@ -966,6 +1160,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             modes=modes,
             benches=benches,
             jobs=args.jobs,
+            timeline_path=args.timeline,
+            scale_trace=args.scale_trace,
         )
     if baseline is not None:
         _merge_baseline(report, baseline)

@@ -15,8 +15,17 @@ which match.  This subpackage is that substrate:
   take to emit records and counters through one argument;
 * :mod:`repro.obs.sink` — streaming JSONL export with capacity and
   rotation, plus loaders and schema validation;
+* :mod:`repro.obs.sampling` — deterministic hash-based trace sampling
+  (:class:`TraceSampler`), so million-member kernels emit
+  O(rate · n · rounds) records with bit-identical sampled subsets at
+  any worker count;
+* :mod:`repro.obs.timeline` — the ``repro.obs.timeline/v1`` wall-clock
+  phase-span schema (:class:`TimelineRecorder`) plus RSS/tracemalloc
+  probes, strictly out of band;
+* :mod:`repro.obs.regress` — per-scenario bench-report comparison with
+  a noise tolerance, behind ``python -m repro.obs regress``;
 * :mod:`repro.obs.cli` — ``python -m repro.obs
-  summarize|diff|validate|render`` for offline trace analysis.
+  summarize|diff|validate|render|merge|regress`` for offline analysis.
 
 See ``docs/OBSERVABILITY.md`` for the record schema and examples.
 """
@@ -30,12 +39,27 @@ from repro.obs.registry import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.sampling import (
+    SAMPLING_SCHEME,
+    SampledTrace,
+    TraceSampler,
+    keep_mask,
+    rescale,
+)
 from repro.obs.sink import (
     JsonlSink,
     iter_records,
+    merge_traces,
+    open_text,
     read_meta,
     read_trace,
     validate_trace,
+)
+from repro.obs.timeline import (
+    NULL_SPAN,
+    TIMELINE_SCHEMA,
+    TimelineRecorder,
+    load_timeline,
 )
 from repro.obs.trace import KINDS, TRACE_SCHEMA, TraceLog, TraceRecord
 
@@ -50,9 +74,20 @@ __all__ = [
     "NULL_OBSERVER",
     "JsonlSink",
     "iter_records",
+    "merge_traces",
+    "open_text",
     "read_meta",
     "read_trace",
     "validate_trace",
+    "SAMPLING_SCHEME",
+    "SampledTrace",
+    "TraceSampler",
+    "keep_mask",
+    "rescale",
+    "NULL_SPAN",
+    "TIMELINE_SCHEMA",
+    "TimelineRecorder",
+    "load_timeline",
     "KINDS",
     "TRACE_SCHEMA",
     "TraceLog",

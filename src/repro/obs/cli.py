@@ -2,18 +2,29 @@
 
 Subcommands:
 
-* ``summarize TRACE`` — per-round timelines, per-kind counts,
-  delivery/false-reception ratios (when the trace carries interest
-  ground truth in its header), delivery-latency histogram, membership
-  episode rollup, and any counter snapshot the producer embedded.
+* ``summarize TRACE [TRACE...]`` — per-round timelines, per-kind
+  counts, delivery/false-reception ratios (when the trace carries
+  interest ground truth in its header), delivery-latency histogram,
+  membership episode rollup, and any counter snapshot the producer
+  embedded.  Multiple files are treated as shards of one run (the
+  header comes from the first); ``.jsonl.gz`` files load transparently.
+  When the header carries a ``sampling`` block, counts and ratios are
+  rescaled by the sampling rate (Horvitz–Thompson) and marked
+  ``estimated``.
 * ``diff A B`` — localize where two runs diverge: the first differing
   record, per-kind count deltas, and per-round send deltas.
 * ``validate TRACE`` — schema check without materializing the trace
   (exit code 1 on any problem); what the CI smoke job runs.
 * ``render TRACE`` — the human-readable timeline.
+* ``merge OUT SHARD [SHARD...]`` — reassemble per-shard trace files
+  (``trace-shardNNNN.jsonl``, in sorted shard order) into one globally
+  round-monotone trace.
+* ``regress BASELINE CURRENT [MORE...]`` — compare bench JSON reports
+  per scenario with a noise tolerance; exit code 1 when a gated
+  scenario regressed (the CI perf gate).
 
-``--json`` on ``summarize``/``diff`` prints the machine-readable
-structure instead of text.
+``--json`` on ``summarize``/``diff``/``regress`` prints the
+machine-readable structure instead of text.
 """
 
 from __future__ import annotations
@@ -24,7 +35,20 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ReproError
-from repro.obs.sink import read_trace, validate_trace
+from repro.obs.regress import (
+    DEFAULT_TOLERANCE,
+    compare_benches,
+    compare_trajectory,
+    load_bench,
+)
+from repro.obs.sampling import rescale
+from repro.obs.sink import (
+    iter_records,
+    merge_traces,
+    read_meta,
+    read_trace,
+    validate_trace,
+)
 from repro.obs.trace import TraceLog
 
 __all__ = ["main", "summarize_trace", "diff_traces"]
@@ -39,7 +63,35 @@ def _load(trace: Union[str, TraceLog]) -> TraceLog:
     return trace if isinstance(trace, TraceLog) else read_trace(trace)
 
 
-def summarize_trace(trace: Union[str, TraceLog]) -> Dict[str, Any]:
+def _load_concat(
+    trace: Union[str, TraceLog, Sequence[str]],
+) -> TraceLog:
+    """Load one trace, or several shard files as one logical run.
+
+    Multiple paths are treated as shards of a single run: records are
+    concatenated in the given order and the metadata comes from the
+    first file (minus its ``shard`` key) — the same header ``merge``
+    writes.  Gzipped files load transparently.
+    """
+    if isinstance(trace, (str, TraceLog)):
+        return _load(trace)
+    paths = list(trace)
+    if len(paths) == 1:
+        return _load(paths[0])
+    log = TraceLog()
+    meta = dict(read_meta(paths[0]))
+    meta.pop("shard", None)
+    meta["shards"] = len(paths)
+    log.meta = meta
+    for path in paths:
+        for record in iter_records(path):
+            log.append(record)
+    return log
+
+
+def summarize_trace(
+    trace: Union[str, TraceLog, Sequence[str]],
+) -> Dict[str, Any]:
     """Roll a trace up into the numbers a report would carry.
 
     When the producer annotated interest ground truth (the engine
@@ -47,8 +99,16 @@ def summarize_trace(trace: Union[str, TraceLog]) -> Dict[str, Any]:
     :class:`~repro.sim.metrics.DisseminationReport`'s delivery ratio,
     false-reception ratio and round count from the records alone —
     the trace is the single source of truth.
+
+    A ``sampling`` block in the header (rate < 1) switches the event
+    rollup to Horvitz–Thompson estimates: per-kind counts and
+    delivered/receiver tallies are divided by the keep rate and the
+    ratios computed from interest *counts* (sampled traces at scale
+    carry counts, not the full interested list); those entries are
+    marked ``estimated``.  Multiple paths are summarized as shards of
+    one run (see ``merge``).
     """
-    log = _load(trace)
+    log = _load_concat(trace)
     meta = log.meta
     counts = log.counts()
 
@@ -104,6 +164,12 @@ def summarize_trace(trace: Union[str, TraceLog]) -> Dict[str, Any]:
     interested_set = (
         set(interested) if isinstance(interested, list) else None
     )
+    sampling = meta.get("sampling")
+    rate = 1.0
+    if isinstance(sampling, dict) and sampling.get("rate") is not None:
+        rate = float(sampling["rate"])  # type: ignore[arg-type]
+    estimated = rate < 1.0
+    meta_interested_count = meta.get("interested_count")
     for event_id in sorted(
         set(publish_round) | set(deliveries) | set(receivers)
     ):
@@ -116,7 +182,51 @@ def summarize_trace(trace: Union[str, TraceLog]) -> Dict[str, Any]:
             "delivered": len(delivered),
             "distinct_receivers": len(received),
         }
-        if interested_set is not None:
+        if (estimated or interested_set is None) and isinstance(
+            meta_interested_count, int
+        ):
+            # Count-based (Horvitz–Thompson) path: sampled traces, and
+            # sharded traces whose headers carry counts rather than the
+            # full interested list.  Every ``deliver`` record comes
+            # from an interested process, so the rescaled deliver tally
+            # estimates ``delivered_interested`` directly; non-publisher
+            # interested *receivers* are the deliverers minus the
+            # publisher (who delivers at round 0 without a reception),
+            # so the excess of rescaled receivers estimates the false
+            # receptions.  The publisher is excluded from the receiver
+            # tally outright — gossip echoed back to it is a duplicate
+            # reception, never a false one (mirroring the exact path).
+            interested_count = meta_interested_count
+            uninterested_count = int(
+                meta.get("uninterested_count", 0)  # type: ignore[arg-type]
+            )
+            delivered_est = rescale(len(delivered), rate)
+            publisher_received = publisher is not None and publisher in received
+            receivers_est = rescale(
+                len(received) - int(publisher_received), rate
+            )
+            publisher_delivered = (
+                publisher is not None and publisher in delivered
+            )
+            false_est = max(
+                receivers_est
+                - (delivered_est - rescale(int(publisher_delivered), rate)),
+                0.0,
+            )
+            entry["estimated"] = estimated
+            entry["delivered_interested"] = round(delivered_est, 4)
+            entry["delivery_ratio"] = (
+                min(delivered_est / interested_count, 1.0)
+                if interested_count
+                else 1.0
+            )
+            entry["received_uninterested"] = round(false_est, 4)
+            entry["false_reception_ratio"] = (
+                min(false_est / uninterested_count, 1.0)
+                if uninterested_count
+                else 0.0
+            )
+        elif interested_set is not None:
             interested_count = len(interested_set)
             uninterested_count = int(
                 meta.get("uninterested_count", 0)  # type: ignore[arg-type]
@@ -164,6 +274,13 @@ def summarize_trace(trace: Union[str, TraceLog]) -> Dict[str, Any]:
         },
         "meta": meta,
     }
+    if isinstance(sampling, dict):
+        summary["sampling"] = dict(sampling)
+        if estimated:
+            summary["kind_counts_estimated"] = {
+                kind: round(rescale(count, rate), 2)
+                for kind, count in counts.items()
+            }
     if isinstance(meta.get("counters"), dict):
         summary["counters"] = meta["counters"]
     return summary
@@ -251,6 +368,8 @@ def _print_summary(summary: Dict[str, Any]) -> None:
                 " false_reception_ratio="
                 f"{entry['false_reception_ratio']:.4f}"
             )
+            if entry.get("estimated"):
+                line += " (estimated from sampled records)"
         print(line)
     latency = summary["delivery_latency"]
     if latency["count"]:
@@ -313,6 +432,34 @@ def _print_diff(diff: Dict[str, Any]) -> None:
               f"{diff['send_round_deltas']}")
 
 
+def _print_regress(outcome: Dict[str, Any]) -> None:
+    steps = outcome.get("steps") or [outcome]
+    for step in steps:
+        if "from" in step:
+            print(f"step {step['from']} -> {step['to']}:")
+        for name, entry in sorted(step["scenarios"].items()):
+            ratio = entry.get("ratio")
+            flag = ""
+            if entry.get("regressed"):
+                flag = "  REGRESSED"
+            elif entry.get("improved"):
+                flag = "  improved"
+            if not entry.get("gated"):
+                flag += "  (not gated)"
+            if entry.get("digest_changed"):
+                flag += "  [digest changed]"
+            rendered = "n/a" if ratio is None else f"{ratio:.3f}x"
+            print(
+                f"  {name:<20} {entry['baseline']} -> {entry['current']} "
+                f"({rendered}){flag}"
+            )
+    verdict = "ok" if outcome["ok"] else "REGRESSION"
+    print(
+        f"{verdict} (metric={outcome['metric']}, "
+        f"tolerance={outcome['tolerance']})"
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -323,7 +470,12 @@ def _build_parser() -> argparse.ArgumentParser:
     summarize = commands.add_parser(
         "summarize", help="roll a trace up into report-level numbers"
     )
-    summarize.add_argument("trace")
+    summarize.add_argument(
+        "trace",
+        nargs="+",
+        help="trace file(s); several paths are summarized as shards "
+        "of one run (.jsonl.gz works too)",
+    )
     summarize.add_argument("--json", action="store_true")
 
     diff = commands.add_parser(
@@ -343,6 +495,51 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     render.add_argument("trace")
     render.add_argument("--limit", type=int, default=None)
+
+    merge = commands.add_parser(
+        "merge",
+        help="reassemble per-shard trace files into one "
+        "round-ordered trace",
+    )
+    merge.add_argument("out", help="merged output path (may end .gz)")
+    merge.add_argument(
+        "shards",
+        nargs="+",
+        help="shard trace files, in sorted shard order",
+    )
+
+    regress = commands.add_parser(
+        "regress",
+        help="compare bench JSON reports; exit 1 when a gated "
+        "scenario regressed",
+    )
+    regress.add_argument(
+        "reports",
+        nargs="+",
+        help="bench reports, oldest first (two compare baseline vs "
+        "current; more compare the whole trajectory pairwise)",
+    )
+    regress.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative slowdown allowed before a scenario counts as "
+        f"regressed (default {DEFAULT_TOLERANCE})",
+    )
+    regress.add_argument(
+        "--gate",
+        action="append",
+        dest="gates",
+        metavar="SCENARIO",
+        help="scenario allowed to fail the comparison (repeatable; "
+        "default: every shared scenario gates)",
+    )
+    regress.add_argument(
+        "--metric",
+        default="seconds",
+        help="per-scenario field to compare (default seconds)",
+    )
+    regress.add_argument("--json", action="store_true")
     return parser
 
 
@@ -372,6 +569,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{args.trace}: {count} records, schema ok")
         elif args.command == "render":
             print(_load(args.trace).render(limit=args.limit))
+        elif args.command == "merge":
+            written = merge_traces(args.shards, args.out)
+            print(
+                f"{args.out}: merged {written} records "
+                f"from {len(args.shards)} shard(s)"
+            )
+        elif args.command == "regress":
+            if len(args.reports) < 2:
+                print(
+                    "error: regress needs a baseline and a current report",
+                    file=sys.stderr,
+                )
+                return 2
+            reports = [load_bench(path) for path in args.reports]
+            if len(reports) == 2:
+                outcome = compare_benches(
+                    reports[0],
+                    reports[1],
+                    tolerance=args.tolerance,
+                    gates=args.gates,
+                    metric=args.metric,
+                )
+            else:
+                outcome = compare_trajectory(
+                    reports,
+                    tolerance=args.tolerance,
+                    gates=args.gates,
+                    metric=args.metric,
+                    labels=list(args.reports),
+                )
+            if args.json:
+                print(json.dumps(outcome, indent=2, sort_keys=True))
+            else:
+                _print_regress(outcome)
+            return 0 if outcome["ok"] else 1
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

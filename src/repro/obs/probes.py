@@ -8,14 +8,19 @@ argument instead of separate registry/trace/sink plumbing:
   off);
 * :meth:`Observer.emit` appends one :class:`~repro.obs.trace.
   TraceRecord` to the in-memory log and/or the streaming sink —
-  whichever is attached;
+  whichever is attached — filtered through the optional
+  :class:`~repro.obs.sampling.TraceSampler` first;
 * :attr:`Observer.tracing` is the cheap guard hot loops check before
-  assembling per-record arguments.
+  assembling per-record arguments;
+* :attr:`Observer.timeline` is the optional
+  :class:`~repro.obs.timeline.TimelineRecorder` instrumented loops
+  open wall-clock phase spans on.
 
 The module-level :data:`NULL_OBSERVER` is fully disabled: its registry
 is the null registry and ``emit`` returns immediately.  Observation
 never draws randomness, so an observed run is bit-identical to an
-unobserved one.
+unobserved one — sampling decisions are SHA-256 of the record key, and
+timelines only read the wall clock.
 """
 
 from __future__ import annotations
@@ -24,33 +29,48 @@ from typing import Dict, Optional
 
 from repro.addressing import Address
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.sampling import TraceSampler
 from repro.obs.sink import JsonlSink
+from repro.obs.timeline import TimelineRecorder
 from repro.obs.trace import TraceLog, TraceRecord
 
 __all__ = ["Observer", "NULL_OBSERVER"]
 
 
 class Observer:
-    """A metrics registry plus optional trace destinations.
+    """A metrics registry plus optional trace/timeline destinations.
 
     Args:
         registry: instrument store; ``None`` selects the shared null
             registry (all instruments no-op).
         trace: an in-memory :class:`TraceLog` receiving every record.
         sink: a streaming :class:`JsonlSink` receiving every record.
+        sampler: an optional :class:`TraceSampler`; when set, a record
+            reaches the destinations only if its ``(kind, process,
+            event_id)`` key survives the hash decision, and the
+            sampling block is stamped into every destination's
+            metadata so offline tooling can rescale.
+        timeline: an optional :class:`TimelineRecorder` for wall-clock
+            phase spans (out of band: never sampled, never traced).
     """
 
-    __slots__ = ("registry", "trace", "sink")
+    __slots__ = ("registry", "trace", "sink", "sampler", "timeline")
 
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
         trace: Optional[TraceLog] = None,
         sink: Optional[JsonlSink] = None,
+        sampler: Optional[TraceSampler] = None,
+        timeline: Optional[TimelineRecorder] = None,
     ):
         self.registry = NULL_REGISTRY if registry is None else registry
         self.trace = trace
         self.sink = sink
+        self.sampler = sampler
+        self.timeline = timeline
+        if sampler is not None and (trace is not None or sink is not None):
+            self.annotate(sampling=sampler.meta())
 
     @property
     def tracing(self) -> bool:
@@ -74,6 +94,10 @@ class Observer:
     ) -> None:
         """Record one protocol action on every attached destination."""
         if self.trace is None and self.sink is None:
+            return
+        if self.sampler is not None and not self.sampler.keep(
+            kind, process, event_id
+        ):
             return
         record = TraceRecord(
             round, kind, process, peer, event_id, depth, value

@@ -1,0 +1,188 @@
+"""Benchmark regression detection: ``python -m repro.obs regress``.
+
+The bench harness (:mod:`repro.bench.perf`) writes self-describing JSON
+reports (``BENCH_*.json``); this module compares them per scenario and
+turns "did the hot paths get slower?" into an exit code CI can gate on.
+
+Wall-clock comparison across machines is noisy, so the comparison is a
+*ratio with a tolerance*, not an equality: scenario ``s`` regressed iff
+``current[s].seconds > baseline[s].seconds * (1 + tolerance)``.  The CI
+gate runs with a deliberately gross tolerance (an order-of-magnitude
+net) — it exists to catch algorithmic slips (an O(n) creeping into the
+round loop), not runner jitter; tighter tolerances are for same-machine
+use against the committed ``BENCH_*.json`` trajectory.
+
+Digest drift is reported alongside (``digest_changed``) but never fails
+the gate — outcome identity has its own dedicated CI asserts; this tool
+is about time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ObservabilityError
+
+__all__ = ["compare_benches", "compare_trajectory", "load_bench"]
+
+#: Default relative slowdown tolerated before a scenario counts as
+#: regressed: 0.25 = current may be up to 25% slower than baseline.
+DEFAULT_TOLERANCE = 0.25
+
+BENCH_SCHEMA = "repro.bench.perf/v1"
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    """Read one bench JSON report, checking its schema tag."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ObservabilityError(f"cannot read bench report {path}: {exc}")
+    if not isinstance(report, dict) or report.get("schema") != BENCH_SCHEMA:
+        raise ObservabilityError(
+            f"{path}: not a {BENCH_SCHEMA} report "
+            f"(schema={report.get('schema')!r})"
+            if isinstance(report, dict)
+            else f"{path}: not a JSON object"
+        )
+    return report
+
+
+def _scenario_results(report: Dict[str, Any]) -> Dict[str, Any]:
+    results = report.get("results") or {}
+    current = results.get("current")
+    return current if isinstance(current, dict) else {}
+
+
+def compare_benches(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    gates: Optional[Sequence[str]] = None,
+    metric: str = "seconds",
+) -> Dict[str, Any]:
+    """Compare two bench reports scenario by scenario.
+
+    Args:
+        baseline, current: parsed ``repro.bench.perf/v1`` reports.
+        tolerance: relative slowdown allowed before a scenario counts
+            as regressed (0.25 = 25%).
+        gates: scenario names allowed to *fail* the comparison; other
+            scenarios are still measured and reported but cannot flip
+            ``ok``.  ``None`` gates every shared scenario.
+        metric: the per-scenario field compared (default wall-clock
+            ``seconds``).
+
+    Returns a dict with per-scenario ratios, the list of gated
+    ``regressions`` and ``improvements``, informational
+    ``digest_changed`` names, and the overall ``ok`` verdict.
+    """
+    if tolerance < 0:
+        raise ObservabilityError(f"tolerance {tolerance} must be >= 0")
+    base_results = _scenario_results(baseline)
+    curr_results = _scenario_results(current)
+    gate_set = None if gates is None else set(gates)
+    if gate_set is not None:
+        missing = gate_set - (set(base_results) & set(curr_results))
+        if missing:
+            # A gate that cannot be evaluated must fail loudly, or a
+            # renamed scenario would silently disarm the CI gate.
+            raise ObservabilityError(
+                f"gated scenarios missing from a report: {sorted(missing)}"
+            )
+
+    scenarios: Dict[str, Any] = {}
+    regressions: List[str] = []
+    improvements: List[str] = []
+    digest_changed: List[str] = []
+    for name in sorted(set(base_results) & set(curr_results)):
+        base, curr = base_results[name], curr_results[name]
+        before = base.get(metric)
+        after = curr.get(metric)
+        if not isinstance(before, (int, float)) or not isinstance(
+            after, (int, float)
+        ):
+            continue
+        gated = gate_set is None or name in gate_set
+        entry: Dict[str, Any] = {
+            "baseline": before,
+            "current": after,
+            "gated": gated,
+        }
+        if before > 0:
+            ratio = after / before
+            entry["ratio"] = round(ratio, 3)
+            entry["regressed"] = gated and ratio > 1.0 + tolerance
+            entry["improved"] = ratio < 1.0 / (1.0 + tolerance)
+        else:
+            # A zero baseline cannot regress by ratio; only report.
+            entry["ratio"] = None
+            entry["regressed"] = False
+            entry["improved"] = False
+        if entry["regressed"]:
+            regressions.append(name)
+        if entry["improved"]:
+            improvements.append(name)
+        base_digest = base.get("digest")
+        if base_digest is not None and base_digest != curr.get("digest"):
+            digest_changed.append(name)
+            entry["digest_changed"] = True
+        scenarios[name] = entry
+    return {
+        "metric": metric,
+        "tolerance": tolerance,
+        "scenarios": scenarios,
+        "regressions": regressions,
+        "improvements": improvements,
+        "digest_changed": digest_changed,
+        "ok": not regressions,
+    }
+
+
+def compare_trajectory(
+    reports: Sequence[Dict[str, Any]],
+    tolerance: float = DEFAULT_TOLERANCE,
+    gates: Optional[Sequence[str]] = None,
+    metric: str = "seconds",
+    labels: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Compare a chronological sequence of bench reports pairwise.
+
+    ``reports`` (e.g. the committed ``BENCH_PR1 → PR5 → PR6`` files)
+    are compared consecutive-pair by consecutive-pair; the trajectory
+    is ``ok`` iff every step is.  ``labels`` names the steps (defaults
+    to indices).
+    """
+    if len(reports) < 2:
+        raise ObservabilityError(
+            "a trajectory comparison needs at least two reports"
+        )
+    names = (
+        list(labels)
+        if labels is not None
+        else [str(index) for index in range(len(reports))]
+    )
+    if len(names) != len(reports):
+        raise ObservabilityError(
+            f"{len(names)} labels for {len(reports)} reports"
+        )
+    steps = []
+    for index in range(len(reports) - 1):
+        step = compare_benches(
+            reports[index],
+            reports[index + 1],
+            tolerance=tolerance,
+            gates=gates,
+            metric=metric,
+        )
+        step["from"] = names[index]
+        step["to"] = names[index + 1]
+        steps.append(step)
+    return {
+        "metric": metric,
+        "tolerance": tolerance,
+        "steps": steps,
+        "ok": all(step["ok"] for step in steps),
+    }

@@ -1,0 +1,192 @@
+"""Deterministic hash-based trace sampling.
+
+A full ``repro.obs.trace/v1`` capture is O(n·rounds) records — fine at
+paper scale (n = 10 648), untenable at the million-member scale of the
+struct-of-arrays kernels.  This module makes tracing affordable there
+by *sampling processes, not records*: a record is emitted iff the
+SHA-256 of its ``(kind, process, event_id)`` key falls under a
+configurable rate.
+
+The decision is a pure function of the key:
+
+* **Deterministic.**  No RNG is drawn and no ``hash()`` of interned
+  objects is consulted, so a sampled run is bit-identical to an
+  unsampled one (all simulation draws untouched) and the *sampled
+  subset* itself is identical across interpreter launches,
+  ``PYTHONHASHSEED`` values, worker counts, and engines: the scalar
+  engine and the vectorized compat kernel — which emit identical record
+  streams — produce identical sampled traces, and the sharded kernel's
+  per-shard traces are identical at any ``--jobs``.
+* **Per-process coherent.**  All ``send`` records of one sender are
+  kept or dropped together (ditto ``receive``/``deliver`` per
+  receiver), so a sampled trace contains *complete per-kind
+  timelines for a deterministic subset of processes* — each kept
+  process is an unbiased witness of the full run, and dividing a
+  sampled count by the rate estimates the population count
+  (:func:`rescale`; ``python -m repro.obs summarize`` applies this
+  when the trace header carries a ``sampling`` block).
+
+The stateless :func:`keep` is what array kernels use to precompute
+per-member keep masks (:func:`keep_mask`); the :class:`TraceSampler`
+adds memoization for record-at-a-time emitters, and
+:class:`SampledTrace` wraps a :class:`~repro.obs.trace.TraceLog` with
+the filter applied on :meth:`~SampledTrace.record`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.trace import TraceLog
+
+__all__ = [
+    "SAMPLING_SCHEME",
+    "keep",
+    "keep_mask",
+    "rescale",
+    "TraceSampler",
+    "SampledTrace",
+]
+
+#: The versioned sampling scheme stamped into trace headers: decide by
+#: ``sha256(f"{kind}|{process}|{event_id}")``, first 8 bytes big-endian,
+#: kept iff below ``rate * 2**64``.
+SAMPLING_SCHEME = "repro.obs.sampling/v1"
+
+_SCALE = 2 ** 64
+
+
+def _threshold(rate: float) -> int:
+    if not 0.0 < rate <= 1.0:
+        raise ObservabilityError(f"sampling rate {rate} not in (0, 1]")
+    # rate == 1.0 keeps everything: the threshold exceeds any 64-bit key.
+    return _SCALE if rate >= 1.0 else int(rate * _SCALE)
+
+
+def keep(kind: str, process: object, event_id: int, rate: float) -> bool:
+    """The stateless sampling verdict for one record key.
+
+    ``process`` is keyed by its string form (the dotted address), so
+    index-space kernels and the object-model engine agree on every
+    verdict.
+    """
+    threshold = _threshold(rate)
+    if threshold >= _SCALE:
+        return True
+    key = f"{kind}|{process}|{event_id}".encode("utf-8")
+    word = int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+    return word < threshold
+
+
+def keep_mask(
+    kind: str, processes: Sequence[object], event_id: int, rate: float
+) -> List[bool]:
+    """Per-process keep verdicts for one kind (array-kernel precompute).
+
+    Returns a plain bool list (callers wanting ``numpy`` wrap it) with
+    one entry per process, each the same verdict :func:`keep` returns.
+    """
+    threshold = _threshold(rate)
+    if threshold >= _SCALE:
+        return [True] * len(processes)
+    sha256 = hashlib.sha256
+    prefix = f"{kind}|".encode("utf-8")
+    suffix = f"|{event_id}".encode("utf-8")
+    out = []
+    for process in processes:
+        key = prefix + str(process).encode("utf-8") + suffix
+        out.append(
+            int.from_bytes(sha256(key).digest()[:8], "big") < threshold
+        )
+    return out
+
+
+def rescale(count: float, rate: float) -> float:
+    """Estimate a population count from a sampled count.
+
+    Each process is kept independently with probability ``rate``, so
+    ``count / rate`` is the unbiased (Horvitz-Thompson) estimator of
+    the unsampled count.
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ObservabilityError(f"sampling rate {rate} not in (0, 1]")
+    return count / rate
+
+
+class TraceSampler:
+    """A memoizing :func:`keep` for record-at-a-time emitters.
+
+    The scalar engine emits many records per ``(kind, process)`` (one
+    ``send`` per envelope per round); the memo turns the repeated
+    SHA-256 into one dict hit.  Samplers are cheap value objects — one
+    per run keeps the memo bounded by ``processes × kinds``.
+    """
+
+    __slots__ = ("rate", "_threshold", "_memo")
+
+    def __init__(self, rate: float):
+        self._threshold = _threshold(float(rate))
+        self.rate = float(rate)
+        self._memo: Dict[Tuple[str, str, int], bool] = {}
+
+    def keep(self, kind: str, process: object, event_id: int = 0) -> bool:
+        """The (memoized) sampling verdict for one record key."""
+        if self._threshold >= _SCALE:
+            return True
+        key = (kind, str(process), event_id)
+        verdict = self._memo.get(key)
+        if verdict is None:
+            raw = f"{key[0]}|{key[1]}|{key[2]}".encode("utf-8")
+            verdict = (
+                int.from_bytes(hashlib.sha256(raw).digest()[:8], "big")
+                < self._threshold
+            )
+            self._memo[key] = verdict
+        return verdict
+
+    def meta(self) -> Dict[str, object]:
+        """The header block ``summarize`` needs to rescale counts."""
+        return {"rate": self.rate, "scheme": SAMPLING_SCHEME}
+
+    def __repr__(self) -> str:
+        return f"TraceSampler(rate={self.rate})"
+
+
+class SampledTrace:
+    """A :class:`~repro.obs.trace.TraceLog` facade that samples records.
+
+    Emitters call the same ``record``/``annotate`` surface; only
+    records whose key survives the sampler reach the underlying log.
+    Metadata always passes through (and the sampler's own block is
+    stamped at construction, so any trace written through this facade
+    is self-describing).
+    """
+
+    __slots__ = ("trace", "sampler")
+
+    def __init__(self, trace: TraceLog, sampler: TraceSampler):
+        self.trace = trace
+        self.sampler = sampler
+        trace.annotate(sampling=sampler.meta())
+
+    def record(
+        self,
+        round: int,
+        kind: str,
+        process: object,
+        peer: Optional[object] = None,
+        event_id: int = 0,
+        depth: int = 0,
+        value: int = 0,
+    ) -> None:
+        """Append one record iff its key survives the sampler."""
+        if self.sampler.keep(kind, process, event_id):
+            self.trace.record(
+                round, kind, process, peer, event_id, depth, value
+            )
+
+    def annotate(self, **meta: object) -> None:
+        """Metadata is never sampled; pass straight through."""
+        self.trace.annotate(**meta)

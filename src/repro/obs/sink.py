@@ -17,20 +17,36 @@ materializing anything (the CI smoke job runs it via the
 
 from __future__ import annotations
 
+import gzip
+import heapq
 import json
 import os
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ObservabilityError
 from repro.obs.trace import TRACE_SCHEMA, TraceLog, TraceRecord
 
 __all__ = [
     "JsonlSink",
+    "open_text",
     "iter_records",
     "read_trace",
     "read_meta",
     "validate_trace",
+    "merge_traces",
 ]
+
+
+def open_text(path: str, mode: str = "r"):
+    """Open a text file, transparently gzipped when it ends ``.gz``.
+
+    Every loader and writer in the observability plane goes through
+    this helper, so merged shard traces and timelines can be stored
+    compressed without any caller caring.
+    """
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
 
 
 class JsonlSink:
@@ -69,7 +85,7 @@ class JsonlSink:
         self._open()
 
     def _open(self) -> None:
-        self._handle = open(self._path, "w", encoding="utf-8")
+        self._handle = open_text(self._path, "w")
         header = {"schema": TRACE_SCHEMA, "meta": self._meta}
         self._handle.write(json.dumps(header, sort_keys=True) + "\n")
         self._in_file = 0
@@ -148,15 +164,15 @@ def _read_header(line: str, path: str) -> Dict[str, object]:
 
 def read_meta(path: str) -> Dict[str, object]:
     """The metadata dict from a trace file's header line."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open_text(path, "r") as handle:
         header = _read_header(handle.readline(), path)
     meta = header.get("meta", {})
     return meta if isinstance(meta, dict) else {}
 
 
-def iter_records(path: str) -> Iterator[TraceRecord]:
-    """Stream the records of a JSONL trace file, validating the header."""
-    with open(path, "r", encoding="utf-8") as handle:
+def _iter_dicts(path: str) -> Iterator[Dict[str, object]]:
+    """Stream the raw record dicts of a trace file (header validated)."""
+    with open_text(path, "r") as handle:
         _read_header(handle.readline(), path)
         for number, line in enumerate(handle, start=2):
             line = line.strip()
@@ -168,7 +184,13 @@ def iter_records(path: str) -> Iterator[TraceRecord]:
                 raise ObservabilityError(
                     f"{path}:{number}: not JSON"
                 ) from exc
-            yield TraceRecord.from_dict(data)
+            yield data
+
+
+def iter_records(path: str) -> Iterator[TraceRecord]:
+    """Stream the records of a JSONL trace file, validating the header."""
+    for data in _iter_dicts(path):
+        yield TraceRecord.from_dict(data)
 
 
 def read_trace(path: str) -> TraceLog:
@@ -191,7 +213,7 @@ def validate_trace(path: str) -> Tuple[int, List[str]]:
     problems: List[str] = []
     count = 0
     try:
-        with open(path, "r", encoding="utf-8") as handle:
+        with open_text(path, "r") as handle:
             try:
                 _read_header(handle.readline(), path)
             except ObservabilityError as exc:
@@ -219,3 +241,44 @@ def validate_trace(path: str) -> Tuple[int, List[str]]:
     except OSError as exc:
         return 0, [f"cannot read {path}: {exc}"]
     return count, problems
+
+
+def merge_traces(paths: Sequence[str], out: str) -> int:
+    """Reassemble per-shard trace files into one round-ordered trace.
+
+    ``paths`` are the shard files **in sorted shard order** (the
+    coordinator names them ``trace-shardNNNN.jsonl`` precisely so a
+    sorted directory listing is that order).  Each shard file is
+    round-monotone on its own; the merge is a streaming k-way heap
+    merge keyed ``(round, shard position, sequence)``, so the output is
+    globally round-monotone (``validate`` passes) and byte-identical
+    for any worker count that produced the shards.
+
+    The merged header metadata is the first shard's, minus its
+    ``shard`` key, plus ``shards`` (the input count).  Returns the
+    number of records written; the output may be ``.gz``.
+
+    Raises:
+        ObservabilityError: when ``paths`` is empty or any input is
+            not a well-formed trace file.
+    """
+    if not paths:
+        raise ObservabilityError("merge needs at least one trace file")
+    meta = dict(read_meta(paths[0]))
+    meta.pop("shard", None)
+    meta["shards"] = len(paths)
+
+    def keyed(index: int, path: str):
+        for seq, record in enumerate(_iter_dicts(path)):
+            yield (int(record.get("round", 0)), index, seq), record
+
+    streams = [keyed(index, path) for index, path in enumerate(paths)]
+    written = 0
+    with open_text(out, "w") as handle:
+        header = {"schema": TRACE_SCHEMA, "meta": meta}
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for __, record in heapq.merge(*streams, key=lambda item: item[0]):
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            written += 1
+    return written

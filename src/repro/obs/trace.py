@@ -311,11 +311,14 @@ class TraceLog:
         """Write the whole log as a JSONL trace file; returns records written.
 
         The first line is a header object carrying :data:`TRACE_SCHEMA`
-        and :attr:`meta`; every further line is one record.  Use
+        and :attr:`meta`; every further line is one record.  A ``.gz``
+        path is transparently compressed.  Use
         :func:`repro.obs.sink.read_trace` (or :meth:`from_jsonl`) to
         load it back.
         """
-        with open(path, "w", encoding="utf-8") as handle:
+        from repro.obs.sink import open_text
+
+        with open_text(path, "w") as handle:
             header = {"schema": TRACE_SCHEMA, "meta": self.meta}
             handle.write(json.dumps(header, sort_keys=True) + "\n")
             for record in self._records:

@@ -27,18 +27,34 @@ cross-shard receptions one round late; every final count is unaffected.
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.config import PmcastConfig, SimConfig
 from repro.errors import SimulationError
+from repro.obs.probes import Observer
+from repro.obs.sampling import SAMPLING_SCHEME
+from repro.obs.timeline import NULL_SPAN, TimelineRecorder
+from repro.obs.trace import TRACE_SCHEMA
 from repro.par.executor import TrialExecutor
+from repro.par.merge import fold_registry
 from repro.sim.metrics import DisseminationReport
 from repro.sim.rng import derive_seed
-from repro.sim.vector import RegularTreeSpec, ShardState, run_shard_wave
+from repro.sim.vector import (
+    RegularTreeSpec,
+    ShardState,
+    _index_address,
+    run_shard_wave,
+)
 
-__all__ = ["build_regular_spec", "run_sharded_dissemination"]
+__all__ = [
+    "build_regular_spec",
+    "run_sharded_dissemination",
+    "shard_trace_path",
+]
 
 
 def build_regular_spec(
@@ -49,6 +65,7 @@ def build_regular_spec(
     sim_config: Optional[SimConfig] = None,
     event_id: int = 0,
     publisher: Optional[int] = None,
+    trace_rate: Optional[float] = None,
 ) -> RegularTreeSpec:
     """A regular-tree spec with Bernoulli(``interest_rate``) interests.
 
@@ -80,6 +97,7 @@ def build_regular_spec(
         sim_config=sim_config,
         publisher=publisher,
         event_id=event_id,
+        trace_rate=trace_rate,
     )
 
 
@@ -91,10 +109,65 @@ def _wave_worker(
     return run_shard_wave(state, inbound_dest, inbound_round, round_index)
 
 
+def shard_trace_path(trace_dir: str, shard: int) -> str:
+    """The canonical per-shard trace file path (``trace-shardNNNN.jsonl``)."""
+    return os.path.join(trace_dir, f"trace-shard{shard:04d}.jsonl")
+
+
+def _write_shard_traces(
+    spec: RegularTreeSpec,
+    states: Dict[int, ShardState],
+    rounds: int,
+    trace_dir: str,
+) -> List[str]:
+    """Write one ``repro.obs.trace/v1`` JSONL file per shard.
+
+    Every shard file carries the full run metadata (plus its ``shard``
+    index), so each is independently summarizable and ``obs merge``
+    can build the merged header from any of them.
+    """
+    own_match = spec.own_match
+    publisher = spec.publisher
+    interested = int(own_match.sum())
+    publisher_interested = bool(own_match[publisher])
+    meta = {
+        "producer": "repro.par.subtree",
+        "publisher": _index_address(publisher, spec.arity, spec.depth),
+        "event_id": spec.event_id,
+        "group_size": spec.size,
+        "interested_count": interested,
+        "uninterested_count": spec.size
+        - interested
+        - (0 if publisher_interested else 1),
+        "publisher_interested": publisher_interested,
+        "seed": spec.seed,
+        "rounds": rounds,
+        "shards": spec.num_shards,
+        "sampling": {"rate": spec.trace_rate, "scheme": SAMPLING_SCHEME},
+    }
+    os.makedirs(trace_dir, exist_ok=True)
+    paths = []
+    for shard in sorted(states):
+        trace = states[shard].trace
+        records = [] if trace is None else trace["records"]
+        path = shard_trace_path(trace_dir, shard)
+        header = {"schema": TRACE_SCHEMA, "meta": {**meta, "shard": shard}}
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+        paths.append(path)
+    return paths
+
+
 def run_sharded_dissemination(
     spec: RegularTreeSpec,
     executor: Optional[TrialExecutor] = None,
     publisher_immune: bool = True,
+    observer: Optional[Observer] = None,
+    trace_dir: Optional[str] = None,
+    timeline: Optional[TimelineRecorder] = None,
 ) -> DisseminationReport:
     """Disseminate one event over the sharded regular-tree kernel.
 
@@ -106,10 +179,25 @@ def run_sharded_dissemination(
             when omitted.  The report is identical at any job count.
         publisher_immune: exempt the publisher from the crash plan (the
             conformance harness's sampling convention).
+        observer: optional :class:`~repro.obs.probes.Observer`; after
+            the run, the executor's merged per-worker ``subtree.*``
+            counters are folded into its registry.
+        trace_dir: directory receiving one ``trace-shardNNNN.jsonl``
+            per shard (see :func:`shard_trace_path`) when
+            ``spec.trace_rate`` is set.  Each shard file is a valid
+            ``repro.obs.trace/v1`` trace (round-monotone); ``python -m
+            repro.obs merge`` reassembles them, in sorted shard order,
+            into one globally round-monotone trace.  Identical at any
+            ``--jobs`` value.
+        timeline: optional :class:`~repro.obs.timeline.TimelineRecorder`
+            receiving per-wave ``fan_out``/``exchange`` spans (the
+            observer's timeline is used when this is None).
 
     Returns:
         the aggregate :class:`~repro.sim.metrics.DisseminationReport`.
     """
+    if timeline is None and observer is not None:
+        timeline = observer.timeline
     owned = executor is None
     if owned:
         executor = TrialExecutor(jobs=1)
@@ -145,24 +233,40 @@ def run_sharded_dissemination(
                 tasks.append(
                     (states[shard], inbound_dest, inbound_round, round_index)
                 )
-            results = executor.run(_wave_worker, tasks)
-            pending = {}
-            for shard, outcome in zip(work, results):
-                state, out_dest, out_round, is_busy, now_infected = outcome
-                states[shard] = state
-                busy[shard] = is_busy
-                infected[shard] = now_infected
-                if out_dest.size:
-                    targets = out_dest // shard_size
-                    for target in np.unique(targets):
-                        mask = targets == target
-                        parts = pending.setdefault(int(target), ([], []))
-                        parts[0].append(out_dest[mask])
-                        parts[1].append(out_round[mask])
+            with (
+                timeline.span("fan_out", "subtree", rounds)
+                if timeline is not None
+                else NULL_SPAN
+            ):
+                results = executor.run(_wave_worker, tasks)
+            with (
+                timeline.span("exchange", "subtree", rounds)
+                if timeline is not None
+                else NULL_SPAN
+            ):
+                pending = {}
+                for shard, outcome in zip(work, results):
+                    state, out_dest, out_round, is_busy, now_infected = outcome
+                    states[shard] = state
+                    busy[shard] = is_busy
+                    infected[shard] = now_infected
+                    if out_dest.size:
+                        targets = out_dest // shard_size
+                        for target in np.unique(targets):
+                            mask = targets == target
+                            parts = pending.setdefault(int(target), ([], []))
+                            parts[0].append(out_dest[mask])
+                            parts[1].append(out_round[mask])
             infection_curve.append(sum(infected.values()))
     finally:
         if owned:
             executor.close()
+    if timeline is not None:
+        timeline.probe_memory(subsystem="subtree", round_index=rounds)
+    if observer is not None:
+        fold_registry(observer.registry, executor.metrics)
+    if trace_dir is not None and spec.trace_rate is not None:
+        _write_shard_traces(spec, states, rounds, trace_dir)
 
     own_match = spec.own_match
     publisher = spec.publisher

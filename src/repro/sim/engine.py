@@ -14,6 +14,7 @@ collection emptied all buffers) or at the ``max_rounds`` safety cap.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Set
 
 from repro.addressing import Address, distance
@@ -25,6 +26,10 @@ from repro.errors import SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.interests.events import Event
+from repro.obs.probes import Observer
+from repro.obs.registry import NULL_REGISTRY
+from repro.obs.sampling import SampledTrace, TraceSampler
+from repro.obs.timeline import NULL_SPAN, TimelineRecorder
 from repro.sim.crashes import CrashSchedule
 from repro.sim.group import PmcastGroup
 from repro.sim.metrics import DisseminationReport
@@ -45,6 +50,9 @@ def run_dissemination(
     network: Optional[LossyNetwork] = None,
     trace: Optional[TraceLog] = None,
     faults: Optional[FaultPlan] = None,
+    sampler: Optional[TraceSampler] = None,
+    observer: Optional[Observer] = None,
+    timeline: Optional[TimelineRecorder] = None,
 ) -> DisseminationReport:
     """Multicast one event through the group and measure the outcome.
 
@@ -71,11 +79,33 @@ def run_dissemination(
             the same seed leaves the gossip/network/crash draws — and
             therefore every unfaulted result — untouched.  Injected
             faults appear in ``trace`` as ``fault_*`` records.
+        sampler: optional :class:`~repro.obs.sampling.TraceSampler`;
+            when set, ``trace`` receives only the records whose
+            ``(kind, process, event_id)`` key survives the hash
+            decision, and the sampling block is stamped into the trace
+            metadata so ``summarize`` rescales.  Sampling draws no
+            randomness, so the report is unchanged.  ``fault_*``
+            records are never sampled — they are scripted, sparse, and
+            the trace's explanation of any damage.
+        observer: optional :class:`~repro.obs.probes.Observer`.  Its
+            registry receives the ``sim.vector_fallback*`` counters
+            when ``vectorized=True`` has to fall back to this scalar
+            loop; its ``sampler``/``timeline`` act as defaults for the
+            corresponding arguments.
+        timeline: optional :class:`~repro.obs.timeline.TimelineRecorder`
+            receiving per-round ``fan_out``/``exchange`` wall-clock
+            spans (out of band; never affects the run).
 
     Returns:
         the :class:`~repro.sim.metrics.DisseminationReport` of the run.
     """
     sim_config = sim_config or SimConfig()
+    if observer is not None:
+        if sampler is None:
+            sampler = observer.sampler
+        if timeline is None:
+            timeline = observer.timeline
+    registry = observer.registry if observer is not None else NULL_REGISTRY
     gossip_rng = derive_rng(sim_config.seed, "gossip", event.event_id)
     if network is None:
         network = LossyNetwork(
@@ -105,21 +135,42 @@ def run_dissemination(
     if not origin.alive:
         raise SimulationError(f"publisher {publisher} has crashed")
 
-    if (
-        sim_config.vectorized
-        and trace is None
-        and injector is None
-        and not network.has_link_rules
-    ):
-        # The struct-of-arrays fast path consumes the same RNG streams
-        # in the same order, so an eligible run is bit-identical to the
-        # scalar loop below; an ineligible one returns None with the
-        # streams untouched and falls through to it.
-        report = try_run_vectorized(
-            group, publisher, event, sim_config, ctx, network, crash_schedule
+    if sim_config.vectorized:
+        reason = None
+        if injector is not None:
+            reason = "faults"
+        elif network.has_link_rules:
+            reason = "link_rules"
+        if reason is None:
+            # The struct-of-arrays fast path consumes the same RNG
+            # streams in the same order — and emits the same trace
+            # records — so an eligible run is bit-identical to the
+            # scalar loop below; an ineligible one returns None with
+            # the streams untouched and falls through to it.
+            report = try_run_vectorized(
+                group,
+                publisher,
+                event,
+                sim_config,
+                ctx,
+                network,
+                crash_schedule,
+                trace=trace,
+                sampler=sampler,
+                registry=registry,
+                timeline=timeline,
+            )
+            if report is not None:
+                return report
+            reason = "ineligible"
+        registry.counter("sim", "vector_fallback").inc()
+        registry.counter("sim", f"vector_fallback_{reason}").inc()
+        warnings.warn(
+            f"SimConfig(vectorized=True) ignored ({reason}): "
+            "falling back to the scalar engine",
+            RuntimeWarning,
+            stacklevel=2,
         )
-        if report is not None:
-            return report
 
     # Ground truth for the metrics, before anybody crashes.
     interested = set(group.interested_members(event))
@@ -127,7 +178,13 @@ def run_dissemination(
     receptions_before = sum(node.receptions for node in group.nodes())
 
     origin.pmcast(event, ctx)
+    emit = None
     if trace is not None:
+        emit = (
+            trace.record
+            if sampler is None
+            else SampledTrace(trace, sampler).record
+        )
         trace.annotate(
             producer="repro.sim.engine",
             publisher=str(publisher),
@@ -138,13 +195,14 @@ def run_dissemination(
             uninterested_count=group.size
             - len(interested)
             - (0 if publisher in interested else 1),
+            publisher_interested=publisher in interested,
             seed=sim_config.seed,
         )
         if faults is not None:
             trace.annotate(fault_plan=faults.to_dict())
-        trace.record(0, "publish", publisher, event_id=event.event_id)
+        emit(0, "publish", publisher, event_id=event.event_id)
         if origin.has_delivered(event):
-            trace.record(0, "deliver", publisher, event_id=event.event_id)
+            emit(0, "deliver", publisher, event_id=event.event_id)
 
     # The active set is an insertion-ordered dict, not a set: gossip
     # order feeds the shared RNG, and set iteration order depends on
@@ -173,85 +231,98 @@ def run_dissemination(
                 continue
             node.alive = False
             active.pop(victim, None)
-            if trace is not None:
-                trace.record(round_index + 1, "crash", victim)
+            if emit is not None:
+                emit(round_index + 1, "crash", victim)
         if not active and (injector is None or not injector.has_pending):
             break
         rounds = round_index + 1
 
         envelopes: List[Envelope] = []
-        idle: List[Address] = []
-        for address, node in active.items():
-            envelopes.extend(node.gossip_step(ctx))
-            if node.is_idle:
-                idle.append(address)
-        for address in idle:
-            del active[address]
-        for envelope in envelopes:
-            hops = distance(envelope.message.sender, envelope.destination)
-            messages_by_distance[max(hops, 1) - 1] += 1
-
-        if injector is None:
-            delivered_envelopes = network.transmit(envelopes)
-        else:
-            delivered_envelopes = injector.transmit(
-                round_index, envelopes, network
-            )
-        if trace is not None:
-            arrived = {id(envelope) for envelope in delivered_envelopes}
-            diverted = (
-                injector.last_diverted if injector is not None
-                else frozenset()
-            )
+        with (
+            timeline.span("fan_out", "engine", rounds)
+            if timeline is not None
+            else NULL_SPAN
+        ):
+            idle: List[Address] = []
+            for address, node in active.items():
+                envelopes.extend(node.gossip_step(ctx))
+                if node.is_idle:
+                    idle.append(address)
+            for address in idle:
+                del active[address]
             for envelope in envelopes:
-                # Fault-diverted envelopes carry their own fault_*
-                # record; one disposition record per envelope per round.
-                if id(envelope) in diverted:
-                    continue
-                kind = "send" if id(envelope) in arrived else "loss"
-                trace.record(
-                    rounds,
-                    kind,
-                    envelope.message.sender,
-                    peer=envelope.destination,
-                    event_id=envelope.message.event.event_id,
-                    depth=envelope.message.depth,
+                hops = distance(envelope.message.sender, envelope.destination)
+                messages_by_distance[max(hops, 1) - 1] += 1
+
+        with (
+            timeline.span("exchange", "engine", rounds)
+            if timeline is not None
+            else NULL_SPAN
+        ):
+            if injector is None:
+                delivered_envelopes = network.transmit(envelopes)
+            else:
+                delivered_envelopes = injector.transmit(
+                    round_index, envelopes, network
                 )
-        for envelope in delivered_envelopes:
-            receiver = group.node(envelope.destination)
-            freshly_delivered = (
-                trace is not None
-                and not receiver.has_delivered(envelope.message.event)
-            )
-            receiver.receive(envelope.message, ctx)
-            # A crashed process performs no protocol action, so it gets
-            # no receive record — the sender-side send record already
-            # documents the dead-letter envelope.
-            if trace is not None and receiver.alive:
-                trace.record(
-                    rounds,
-                    "receive",
-                    envelope.destination,
-                    peer=envelope.message.sender,
-                    event_id=envelope.message.event.event_id,
-                    depth=envelope.message.depth,
+            if emit is not None:
+                arrived = {id(envelope) for envelope in delivered_envelopes}
+                diverted = (
+                    injector.last_diverted if injector is not None
+                    else frozenset()
                 )
-                if freshly_delivered and receiver.has_delivered(
-                    envelope.message.event
-                ):
-                    trace.record(
+                for envelope in envelopes:
+                    # Fault-diverted envelopes carry their own fault_*
+                    # record; one disposition record per envelope per
+                    # round.
+                    if id(envelope) in diverted:
+                        continue
+                    kind = "send" if id(envelope) in arrived else "loss"
+                    emit(
                         rounds,
-                        "deliver",
-                        envelope.destination,
+                        kind,
+                        envelope.message.sender,
+                        peer=envelope.destination,
                         event_id=envelope.message.event.event_id,
+                        depth=envelope.message.depth,
                     )
-            if receiver.alive:
-                infected.add(envelope.destination)
-                if not receiver.is_idle:
-                    active[envelope.destination] = receiver
+            for envelope in delivered_envelopes:
+                receiver = group.node(envelope.destination)
+                freshly_delivered = (
+                    trace is not None
+                    and not receiver.has_delivered(envelope.message.event)
+                )
+                receiver.receive(envelope.message, ctx)
+                # A crashed process performs no protocol action, so it
+                # gets no receive record — the sender-side send record
+                # already documents the dead-letter envelope.
+                if emit is not None and receiver.alive:
+                    emit(
+                        rounds,
+                        "receive",
+                        envelope.destination,
+                        peer=envelope.message.sender,
+                        event_id=envelope.message.event.event_id,
+                        depth=envelope.message.depth,
+                    )
+                    if freshly_delivered and receiver.has_delivered(
+                        envelope.message.event
+                    ):
+                        emit(
+                            rounds,
+                            "deliver",
+                            envelope.destination,
+                            event_id=envelope.message.event.event_id,
+                        )
+                if receiver.alive:
+                    infected.add(envelope.destination)
+                    if not receiver.is_idle:
+                        active[envelope.destination] = receiver
 
         infection_curve.append(len(infected))
 
+    if timeline is not None:
+        timeline.probe_memory(subsystem="engine", round_index=rounds)
     if trace is not None:
         trace.annotate(rounds=rounds)
         if injector is not None:

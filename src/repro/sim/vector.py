@@ -10,10 +10,13 @@ the scalar engine (destination draws via a position-level mirror of
 CPython's ``random.sample``, loss draws via
 :meth:`~repro.sim.network.LossyNetwork.transmit_flags`), so its
 :class:`~repro.sim.metrics.DisseminationReport` is bit-identical to the
-scalar path's for any eligible run.  Selected by
+scalar path's for any eligible run — and so is its trace: the kernel
+emits the same ``repro.obs.trace/v1`` records in the same order (through
+the same optional :class:`~repro.obs.sampling.TraceSampler`), so a
+traced run no longer forces the scalar path.  Selected by
 ``SimConfig(vectorized=True)``; ineligible runs (non-idle nodes,
-irregular address depths, link rules, traces, fault plans) silently
-fall back to the scalar engine.
+irregular address depths, link rules, fault plans) fall back to the
+scalar engine, which counts and warns about the fallback.
 
 **Regular-tree kernel** (:class:`RegularTreeSpec` /
 :func:`run_shard_wave`) — a fully vectorized numpy round step for the
@@ -51,6 +54,10 @@ from repro.core.context import GossipContext
 from repro.core.rounds import loss_adjusted_rounds, pittel_rounds, round_bound
 from repro.errors import ProtocolError, SimulationError
 from repro.interests.events import Event
+from repro.obs.registry import MetricsRegistry, registry_or_null
+from repro.obs.sampling import SampledTrace, TraceSampler, keep, keep_mask
+from repro.obs.timeline import NULL_SPAN, TimelineRecorder
+from repro.obs.trace import TraceLog
 from repro.sim.crashes import CrashSchedule
 from repro.sim.group import PmcastGroup
 from repro.sim.metrics import DisseminationReport
@@ -286,15 +293,29 @@ def try_run_vectorized(
     ctx: GossipContext,
     network: LossyNetwork,
     crash_schedule: CrashSchedule,
+    trace: Optional[TraceLog] = None,
+    sampler: Optional[TraceSampler] = None,
+    registry: Optional[MetricsRegistry] = None,
+    timeline: Optional[TimelineRecorder] = None,
 ) -> Optional[DisseminationReport]:
     """Run one dissemination on the compat kernel, or None to fall back.
 
     Stream-compatible with the scalar engine: same gossip/loss draws in
-    the same order, same report, and the object model (node liveness,
-    delivery sets, message counters, leftover buffers) is written back
-    so post-run inspection cannot tell the paths apart.
+    the same order, same report, the same trace records in the same
+    order (optionally filtered through ``sampler``), and the object
+    model (node liveness, delivery sets, message counters, leftover
+    buffers) is written back so post-run inspection cannot tell the
+    paths apart.  ``registry`` receives per-round ``vector.*`` counters;
+    ``timeline`` receives ``match``/``fan_out``/``exchange`` spans —
+    both out of band.
     """
-    spec = _build_compat_spec(group, event, ctx)
+    registry = registry_or_null(registry)
+    with (
+        timeline.span("match", "vector")
+        if timeline is not None
+        else NULL_SPAN
+    ):
+        spec = _build_compat_spec(group, event, ctx)
     if spec is None:
         return None
 
@@ -338,6 +359,32 @@ def try_run_vectorized(
     sent_count = [0] * n
     recv_count = [0] * n
 
+    emit = None
+    if trace is not None:
+        emit = (
+            trace.record
+            if sampler is None
+            else SampledTrace(trace, sampler).record
+        )
+        # Byte-identical metadata to the scalar engine's: offline
+        # tooling cannot (and must not) tell the producers apart.
+        trace.annotate(
+            producer="repro.sim.engine",
+            publisher=str(publisher),
+            event_id=event.event_id,
+            group_size=group.size,
+            interested=sorted(str(address) for address in interested),
+            interested_count=len(interested),
+            uninterested_count=group.size
+            - len(interested)
+            - (0 if publisher in interested else 1),
+            publisher_interested=publisher in interested,
+            seed=sim_config.seed,
+        )
+        emit(0, "publish", publisher, event_id=event.event_id)
+        if delivered[pub]:
+            emit(0, "deliver", publisher, event_id=event.event_id)
+
     active_list = [pub]
     in_active = [False] * n
     in_active[pub] = True
@@ -349,6 +396,14 @@ def try_run_vectorized(
     messages_by_distance = [0] * tree_depth
     rounds = 0
 
+    metering = registry.enabled
+    if metering:
+        meter_rounds = registry.counter("vector", "rounds")
+        meter_envelopes = registry.counter("vector", "envelopes")
+        meter_losses = registry.counter("vector", "losses")
+        meter_infected = registry.gauge("vector", "infected")
+
+    addresses = spec.addresses
     for round_index in range(sim_config.max_rounds):
         for victim in crash_schedule.crashes_at(round_index):
             vi = index_of.get(victim)
@@ -360,6 +415,8 @@ def try_run_vectorized(
             if in_active[vi]:
                 in_active[vi] = False
                 active_count -= 1
+            if emit is not None:
+                emit(round_index + 1, "crash", victim)
         if active_count == 0:
             break
         rounds = round_index + 1
@@ -368,106 +425,164 @@ def try_run_vectorized(
         # engine's dict order), depths ascending with same-firing
         # demotion cascades.
         envelopes: List[Tuple[int, int, int, float, int]] = []
-        next_active: List[int] = []
-        for i in active_list:
-            if not in_active[i]:
-                continue
-            depth = buf_depth[i]
-            entry_round = buf_round[i]
-            entry_rate = buf_rate[i]
-            matches_i = node_matches[i]
-            emitted = 0
-            while True:
-                flat = matches_i[depth - 1]
-                if (
-                    depth == tree_depth
-                    and flat.rate >= flood_threshold
-                ):
-                    # §6 leaf flood: round NOT incremented, retire.
-                    for target in flat.flood_targets:
-                        if target != i:
-                            envelopes.append(
-                                (target, depth, entry_round, entry_rate, i)
-                            )
-                            emitted += 1
-                    depth = 0
-                    break
-                bound = flat.bound_for(entry_rate, config)
-                if entry_round < bound:
-                    entry_round += 1
-                    selfpos = flat.pos.get(i, -1)
-                    m = flat.entry_count - (1 if selfpos >= 0 else 0)
-                    if m > 0:
-                        entries = flat.entries
-                        mask = flat.mask
-                        count = fanout if fanout < m else m
-                        for j in sample_positions(randbelow, m, count):
-                            if selfpos >= 0 and j >= selfpos:
-                                j += 1
-                            if mask[j]:
+        with (
+            timeline.span("fan_out", "vector", rounds)
+            if timeline is not None
+            else NULL_SPAN
+        ):
+            next_active: List[int] = []
+            for i in active_list:
+                if not in_active[i]:
+                    continue
+                depth = buf_depth[i]
+                entry_round = buf_round[i]
+                entry_rate = buf_rate[i]
+                matches_i = node_matches[i]
+                emitted = 0
+                while True:
+                    flat = matches_i[depth - 1]
+                    if (
+                        depth == tree_depth
+                        and flat.rate >= flood_threshold
+                    ):
+                        # §6 leaf flood: round NOT incremented, retire.
+                        for target in flat.flood_targets:
+                            if target != i:
                                 envelopes.append(
-                                    (
-                                        entries[j], depth, entry_round,
-                                        entry_rate, i,
-                                    )
+                                    (target, depth, entry_round, entry_rate, i)
                                 )
                                 emitted += 1
-                    break
-                elif depth < tree_depth:
-                    depth += 1
-                    entry_round = 0
-                    entry_rate = matches_i[depth - 1].rate
+                        depth = 0
+                        break
+                    bound = flat.bound_for(entry_rate, config)
+                    if entry_round < bound:
+                        entry_round += 1
+                        selfpos = flat.pos.get(i, -1)
+                        m = flat.entry_count - (1 if selfpos >= 0 else 0)
+                        if m > 0:
+                            entries = flat.entries
+                            mask = flat.mask
+                            count = fanout if fanout < m else m
+                            for j in sample_positions(randbelow, m, count):
+                                if selfpos >= 0 and j >= selfpos:
+                                    j += 1
+                                if mask[j]:
+                                    envelopes.append(
+                                        (
+                                            entries[j], depth, entry_round,
+                                            entry_rate, i,
+                                        )
+                                    )
+                                    emitted += 1
+                        break
+                    elif depth < tree_depth:
+                        depth += 1
+                        entry_round = 0
+                        entry_rate = matches_i[depth - 1].rate
+                    else:
+                        depth = 0
+                        break
+                sent_count[i] += emitted
+                buf_depth[i] = depth
+                buf_round[i] = entry_round
+                buf_rate[i] = entry_rate
+                if depth == 0:
+                    in_active[i] = False
+                    active_count -= 1
                 else:
-                    depth = 0
-                    break
-            sent_count[i] += emitted
-            buf_depth[i] = depth
-            buf_round[i] = entry_round
-            buf_rate[i] = entry_rate
-            if depth == 0:
-                in_active[i] = False
-                active_count -= 1
-            else:
-                next_active.append(i)
-        active_list = next_active
+                    next_active.append(i)
+            active_list = next_active
 
-        # Distance accounting: every envelope, before loss (§2.2).
-        for dest, __, ___, ____, sender in envelopes:
-            sc = components[sender]
-            dc = components[dest]
-            common = 0
-            while common < tree_depth and sc[common] == dc[common]:
-                common += 1
-            messages_by_distance[tree_depth - 1 - common] += 1
+            # Distance accounting: every envelope, before loss (§2.2).
+            for dest, __, ___, ____, sender in envelopes:
+                sc = components[sender]
+                dc = components[dest]
+                common = 0
+                while common < tree_depth and sc[common] == dc[common]:
+                    common += 1
+                messages_by_distance[tree_depth - 1 - common] += 1
 
-        flags = network.transmit_flags(len(envelopes))
-        for position, envelope in enumerate(envelopes):
-            if flags is not None and not flags[position]:
-                continue
-            dest, depth, entry_round, entry_rate, __ = envelope
-            if not alive[dest]:
-                continue
-            recv_count[dest] += 1
-            if received[dest]:
+        with (
+            timeline.span("exchange", "vector", rounds)
+            if timeline is not None
+            else NULL_SPAN
+        ):
+            flags = network.transmit_flags(len(envelopes))
+            if emit is not None:
+                # The scalar engine records every envelope's disposition
+                # (send/loss) before any reception — same order here.
+                for position, envelope in enumerate(envelopes):
+                    dest, depth, __, ___, sender = envelope
+                    kind = (
+                        "send"
+                        if flags is None or flags[position]
+                        else "loss"
+                    )
+                    emit(
+                        rounds,
+                        kind,
+                        addresses[sender],
+                        peer=addresses[dest],
+                        event_id=event.event_id,
+                        depth=depth,
+                    )
+            for position, envelope in enumerate(envelopes):
+                if flags is not None and not flags[position]:
+                    continue
+                dest, depth, entry_round, entry_rate, sender = envelope
+                if not alive[dest]:
+                    continue
+                recv_count[dest] += 1
+                if emit is not None:
+                    emit(
+                        rounds,
+                        "receive",
+                        addresses[dest],
+                        peer=addresses[sender],
+                        event_id=event.event_id,
+                        depth=depth,
+                    )
+                if received[dest]:
+                    if not infected[dest]:
+                        infected[dest] = True
+                        infected_count += 1
+                    continue
+                received[dest] = True
+                if own_match[dest]:
+                    delivered[dest] = True
+                    if emit is not None:
+                        emit(
+                            rounds,
+                            "deliver",
+                            addresses[dest],
+                            event_id=event.event_id,
+                        )
+                buf_depth[dest] = depth
+                buf_round[dest] = entry_round
+                buf_rate[dest] = entry_rate
                 if not infected[dest]:
                     infected[dest] = True
                     infected_count += 1
-                continue
-            received[dest] = True
-            if own_match[dest]:
-                delivered[dest] = True
-            buf_depth[dest] = depth
-            buf_round[dest] = entry_round
-            buf_rate[dest] = entry_rate
-            if not infected[dest]:
-                infected[dest] = True
-                infected_count += 1
-            if not in_active[dest]:
-                in_active[dest] = True
-                active_list.append(dest)
-                active_count += 1
+                if not in_active[dest]:
+                    in_active[dest] = True
+                    active_list.append(dest)
+                    active_count += 1
 
         infection_curve.append(infected_count)
+        if metering:
+            meter_rounds.inc()
+            meter_envelopes.inc(len(envelopes))
+            if flags is not None:
+                meter_losses.inc(sum(1 for flag in flags if not flag))
+            meter_infected.set(infected_count)
+
+    if timeline is not None:
+        timeline.probe_memory(subsystem="vector", round_index=rounds)
+    if trace is not None:
+        trace.annotate(rounds=rounds)
+    if metering:
+        registry.counter("vector", "runs").inc()
+        registry.counter("vector", "receptions").inc(sum(recv_count))
 
     # Write the outcome back through the object model so every scalar
     # inspection API stays truthful after a vectorized run.
@@ -520,6 +635,22 @@ def try_run_vectorized(
 # ---------------------------------------------------------------------------
 # Regular-tree kernel: numpy arrays + sharded subtree waves.
 # ---------------------------------------------------------------------------
+
+def _index_address(index: int, arity: int, depth: int) -> str:
+    """The dotted address string of a regular-tree member index.
+
+    The regular space enumerates members in sorted order, so the index
+    is the base-``arity`` reading of the address components — the
+    inverse of the block arithmetic the kernel runs on.  Used to key
+    sampling decisions and trace records by the same strings the
+    object-model engine uses.
+    """
+    parts = [0] * depth
+    for position in range(depth - 1, -1, -1):
+        parts[position] = index % arity
+        index //= arity
+    return ".".join(str(part) for part in parts)
+
 
 @dataclass
 class _DepthTables:
@@ -601,6 +732,11 @@ class RegularTreeSpec:
     publisher: int
     own_match: np.ndarray
     tables: List[_DepthTables] = field(default_factory=list)
+    #: Optional trace sampling rate (None = no tracing).  Sampling keys
+    #: are the dotted address strings, so the sampled subset is
+    #: identical at any worker count (and to any other producer that
+    #: traces the same processes at the same rate).
+    trace_rate: Optional[float] = None
 
     @property
     def size(self) -> int:
@@ -625,6 +761,7 @@ class RegularTreeSpec:
         sim_config: Optional[SimConfig] = None,
         publisher: int = 0,
         event_id: int = 0,
+        trace_rate: Optional[float] = None,
     ) -> "RegularTreeSpec":
         config = config or PmcastConfig()
         sim_config = sim_config or SimConfig()
@@ -664,6 +801,7 @@ class RegularTreeSpec:
             max_rounds=sim_config.max_rounds,
             publisher=publisher,
             own_match=own_match,
+            trace_rate=trace_rate,
         )
         spec.tables = spec._build_tables()
         return spec
@@ -715,6 +853,26 @@ class RegularTreeSpec:
         return tables
 
 
+def _shard_record(
+    round_index: int,
+    kind: str,
+    process: str,
+    event_id: int,
+    peer: Optional[str] = None,
+    depth: int = 0,
+) -> Dict[str, object]:
+    """One trace record as its JSONL dict (the shape ``TraceRecord.
+    to_dict`` emits, ``value`` omitted because it is always 0 here)."""
+    return {
+        "round": round_index,
+        "kind": kind,
+        "process": process,
+        "peer": peer,
+        "event_id": event_id,
+        "depth": depth,
+    }
+
+
 @dataclass
 class ShardState:
     """The mutable struct-of-arrays state of one depth-1 subtree.
@@ -738,6 +896,11 @@ class ShardState:
     recv: int = 0
     lost: int = 0
     dist: np.ndarray = None  # (depth,) int64 distance buckets
+    #: Trace plumbing when ``spec.trace_rate`` is set: per-kind keep
+    #: masks (bool (B,)), the members' dotted-address strings, and the
+    #: accumulated record dicts.  Plain dicts/lists/arrays so the state
+    #: round-trips through the executor's pickle unchanged.
+    trace: Optional[Dict[str, object]] = None
 
     @classmethod
     def create(
@@ -776,6 +939,28 @@ class ShardState:
             doom_round=doom_round,
             dist=np.zeros(spec.depth, dtype=np.int64),
         )
+        rate = spec.trace_rate
+        if rate is not None:
+            addresses = [
+                _index_address(base + i, spec.arity, spec.depth)
+                for i in range(size)
+            ]
+            event_id = spec.event_id
+            state.trace = {
+                "addresses": addresses,
+                "records": [],
+                **{
+                    kind: np.asarray(
+                        keep_mask(kind, addresses, event_id, rate)
+                    )
+                    for kind in ("send", "loss", "receive", "deliver")
+                },
+                # Crash is a membership-plane record: the engine emits
+                # it with event_id 0, so the sampling key matches.
+                "crash": np.asarray(
+                    keep_mask("crash", addresses, 0, rate)
+                ),
+            }
         publisher = spec.publisher
         if base <= publisher < base + size:
             local = publisher - base
@@ -784,6 +969,17 @@ class ShardState:
             # PMCAST bootstrap: buffer at depth 1, round 0.
             state.received[local] = True
             state.buf_depth[local] = 1
+            if state.trace is not None:
+                address = state.trace["addresses"][local]
+                records = state.trace["records"]
+                if keep("publish", address, spec.event_id, rate):
+                    records.append(
+                        _shard_record(0, "publish", address, spec.event_id)
+                    )
+                if spec.own_match[publisher] and state.trace["deliver"][local]:
+                    records.append(
+                        _shard_record(0, "deliver", address, spec.event_id)
+                    )
         return state
 
     @property
@@ -807,6 +1003,24 @@ def _advance_crashes(state: ShardState, upto: int) -> None:
     )
     if sel.any():
         state.alive[sel] = False
+        trace = state.trace
+        if trace is not None:
+            kept = np.nonzero(sel & trace["crash"])[0]
+            if kept.size:
+                # Record at doom_round + 1 (the scalar convention),
+                # ordered by round so the shard file stays monotone.
+                order = np.argsort(state.doom_round[kept], kind="stable")
+                addresses = trace["addresses"]
+                records = trace["records"]
+                for local in kept[order]:
+                    records.append(
+                        _shard_record(
+                            int(state.doom_round[local]) + 1,
+                            "crash",
+                            addresses[local],
+                            0,
+                        )
+                    )
     state.crash_cursor = upto
 
 
@@ -832,14 +1046,39 @@ def _apply_receptions(
     local: np.ndarray,
     depths: np.ndarray,
     rounds: np.ndarray,
+    trace_round: int = 0,
 ) -> None:
-    """RECEIVE for a batch of envelopes, first-in-batch-order wins."""
+    """RECEIVE for a batch of envelopes, first-in-batch-order wins.
+
+    ``trace_round`` is the *simulation* round the receptions happen in
+    (the ``rounds`` array is buffer entry-round counters, not rounds);
+    sampled receive/deliver records are stamped with it.  Cross-shard
+    envelopes lose their sender in the exchange, so sharded receive
+    records uniformly carry ``peer: null``.
+    """
     ok = state.alive[local]
     if not ok.all():
         local, depths, rounds = local[ok], depths[ok], rounds[ok]
     state.recv += int(local.size)
     if not local.size:
         return
+    trace = state.trace
+    if trace is not None:
+        kept = np.nonzero(trace["receive"][local])[0]
+        if kept.size:
+            addresses = trace["addresses"]
+            records = trace["records"]
+            event_id = state.spec.event_id
+            for position in kept:
+                records.append(
+                    _shard_record(
+                        trace_round,
+                        "receive",
+                        addresses[local[position]],
+                        event_id,
+                        depth=int(depths[position]),
+                    )
+                )
     fresh = ~state.received[local]
     if not fresh.any():
         return
@@ -848,6 +1087,24 @@ def _apply_receptions(
     state.received[uniq] = True
     state.buf_depth[uniq] = depths[first]
     state.buf_round[uniq] = rounds[first]
+    if trace is not None:
+        spec = state.spec
+        delivering = np.nonzero(
+            trace["deliver"][uniq] & spec.own_match[uniq + state.base]
+        )[0]
+        if delivering.size:
+            addresses = trace["addresses"]
+            records = trace["records"]
+            event_id = spec.event_id
+            for position in delivering:
+                records.append(
+                    _shard_record(
+                        trace_round,
+                        "deliver",
+                        addresses[uniq[position]],
+                        event_id,
+                    )
+                )
 
 
 def run_shard_wave(
@@ -875,14 +1132,19 @@ def run_shard_wave(
     depth_count = spec.depth
     fanout = spec.config.fanout
     redundancy = spec.redundancy
+    recv_before = state.recv
 
     _advance_crashes(state, round_index)
     if inbound_dest is not None and inbound_dest.size:
+        # Cross-shard envelopes were sent during the previous wave
+        # (simulation round ``round_index``), so their receive records
+        # carry the same round as their send records.
         _apply_receptions(
             state,
             inbound_dest - base,
             np.ones(inbound_dest.size, dtype=np.int8),
             inbound_round,
+            trace_round=round_index,
         )
     _advance_crashes(state, round_index + 1)
 
@@ -996,6 +1258,7 @@ def run_shard_wave(
 
     total = int(dest.size)
     state.sent += total
+    lost_here = 0
     if total:
         # §2.2 distance accounting, pre-loss.
         common = np.zeros(total, dtype=np.int64)
@@ -1003,9 +1266,47 @@ def run_shard_wave(
             block = spec.arity ** (depth_count - level)
             common += senders // block == dest // block
         np.add.at(state.dist, depth_count - 1 - common, 1)
+        kept = None
         if spec.loss_probability > 0.0:
             kept = gen.random(total) >= spec.loss_probability
-            state.lost += total - int(kept.sum())
+            lost_here = total - int(kept.sum())
+            state.lost += lost_here
+        trace = state.trace
+        if trace is not None:
+            # Send/loss disposition per envelope, pre-filter (the loss
+            # records need the dropped envelopes), keyed by the sender.
+            sender_local = senders - base
+            if kept is None:
+                emitting = trace["send"][sender_local]
+            else:
+                emitting = np.where(
+                    kept,
+                    trace["send"][sender_local],
+                    trace["loss"][sender_local],
+                )
+            chosen = np.nonzero(emitting)[0]
+            if chosen.size:
+                addresses = trace["addresses"]
+                records = trace["records"]
+                event_id = spec.event_id
+                arity = spec.arity
+                trace_round = round_index + 1
+                for position in chosen:
+                    records.append(
+                        _shard_record(
+                            trace_round,
+                            "send"
+                            if kept is None or kept[position]
+                            else "loss",
+                            addresses[sender_local[position]],
+                            event_id,
+                            peer=_index_address(
+                                int(dest[position]), arity, depth_count
+                            ),
+                            depth=int(depths[position]),
+                        )
+                    )
+        if kept is not None:
             dest, depths, rounds = dest[kept], depths[kept], rounds[kept]
 
     shard_size = spec.shard_size
@@ -1014,7 +1315,24 @@ def run_shard_wave(
     out_round = rounds[cross]
     if (~cross).any():
         _apply_receptions(
-            state, dest[~cross] - base, depths[~cross], rounds[~cross]
+            state,
+            dest[~cross] - base,
+            depths[~cross],
+            rounds[~cross],
+            trace_round=round_index + 1,
         )
+
+    # Local import: ``repro.par.__init__`` imports this module while
+    # building the package, so a module-level import would cycle.
+    from repro.par.worker import worker_registry
+
+    registry = worker_registry()
+    registry.counter("subtree", "waves").inc()
+    registry.counter("subtree", "envelopes_sent").inc(total)
+    registry.counter("subtree", "envelopes_lost").inc(lost_here)
+    registry.counter("subtree", "cross_shard_envelopes").inc(
+        int(out_dest.size)
+    )
+    registry.counter("subtree", "receptions").inc(state.recv - recv_before)
 
     return state, out_dest, out_round, state.busy, state.infected

@@ -1,0 +1,200 @@
+"""Tests for the perf-regression gate (``python -m repro.obs regress``).
+
+The gate's contract: a gated scenario slower than baseline by more than
+the tolerance fails (exit 1); a gated scenario that *vanished* from a
+report fails loudly (a renamed scenario must not disarm the gate);
+digest drift is informational only.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.cli import main
+from repro.obs.regress import (
+    compare_benches,
+    compare_trajectory,
+    load_bench,
+)
+
+
+def bench_report(**scenarios):
+    """A minimal ``repro.bench.perf/v1`` report from name -> fields."""
+    return {
+        "schema": "repro.bench.perf/v1",
+        "results": {"current": dict(scenarios)},
+    }
+
+
+BASE = bench_report(
+    round_loop={"seconds": 1.0, "digest": "aaa"},
+    scale_loop={"seconds": 4.0, "digest": "bbb"},
+    churn={"seconds": 0.5, "digest": "ccc"},
+)
+
+
+class TestCompareBenches:
+    def test_within_tolerance_is_ok(self):
+        current = bench_report(
+            round_loop={"seconds": 1.2, "digest": "aaa"},
+            scale_loop={"seconds": 4.4, "digest": "bbb"},
+            churn={"seconds": 0.55, "digest": "ccc"},
+        )
+        outcome = compare_benches(BASE, current, tolerance=0.25)
+        assert outcome["ok"] is True
+        assert outcome["regressions"] == []
+        assert outcome["scenarios"]["round_loop"]["ratio"] == 1.2
+
+    def test_regression_flips_ok(self):
+        current = bench_report(
+            round_loop={"seconds": 2.0, "digest": "aaa"},
+            scale_loop={"seconds": 4.0, "digest": "bbb"},
+            churn={"seconds": 0.5, "digest": "ccc"},
+        )
+        outcome = compare_benches(BASE, current, tolerance=0.25)
+        assert outcome["ok"] is False
+        assert outcome["regressions"] == ["round_loop"]
+
+    def test_ungated_scenario_cannot_fail_the_gate(self):
+        current = bench_report(
+            round_loop={"seconds": 1.0, "digest": "aaa"},
+            scale_loop={"seconds": 4.0, "digest": "bbb"},
+            churn={"seconds": 50.0, "digest": "ccc"},
+        )
+        outcome = compare_benches(
+            BASE, current, tolerance=0.25, gates=["round_loop"]
+        )
+        assert outcome["ok"] is True
+        assert outcome["scenarios"]["churn"]["gated"] is False
+        assert outcome["scenarios"]["churn"]["regressed"] is False
+
+    def test_missing_gated_scenario_fails_loudly(self):
+        current = bench_report(
+            scale_loop={"seconds": 4.0, "digest": "bbb"},
+        )
+        with pytest.raises(ObservabilityError):
+            compare_benches(BASE, current, gates=["round_loop"])
+
+    def test_digest_drift_is_informational(self):
+        current = bench_report(
+            round_loop={"seconds": 1.0, "digest": "CHANGED"},
+            scale_loop={"seconds": 4.0, "digest": "bbb"},
+            churn={"seconds": 0.5, "digest": "ccc"},
+        )
+        outcome = compare_benches(BASE, current, tolerance=0.25)
+        assert outcome["ok"] is True
+        assert outcome["digest_changed"] == ["round_loop"]
+
+    def test_improvements_reported(self):
+        current = bench_report(
+            round_loop={"seconds": 0.4, "digest": "aaa"},
+            scale_loop={"seconds": 4.0, "digest": "bbb"},
+            churn={"seconds": 0.5, "digest": "ccc"},
+        )
+        outcome = compare_benches(BASE, current, tolerance=0.25)
+        assert outcome["improvements"] == ["round_loop"]
+
+    def test_zero_baseline_cannot_regress(self):
+        base = bench_report(x={"seconds": 0.0})
+        current = bench_report(x={"seconds": 9.0})
+        outcome = compare_benches(base, current)
+        assert outcome["ok"] is True
+        assert outcome["scenarios"]["x"]["ratio"] is None
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ObservabilityError):
+            compare_benches(BASE, BASE, tolerance=-0.1)
+
+
+class TestTrajectory:
+    def test_pairwise_steps(self):
+        mid = bench_report(
+            round_loop={"seconds": 1.1, "digest": "aaa"},
+            scale_loop={"seconds": 4.0, "digest": "bbb"},
+            churn={"seconds": 0.5, "digest": "ccc"},
+        )
+        bad = bench_report(
+            round_loop={"seconds": 5.0, "digest": "aaa"},
+            scale_loop={"seconds": 4.0, "digest": "bbb"},
+            churn={"seconds": 0.5, "digest": "ccc"},
+        )
+        outcome = compare_trajectory(
+            [BASE, mid, bad], tolerance=0.25, labels=["pr1", "pr2", "pr3"]
+        )
+        assert outcome["ok"] is False
+        assert [s["ok"] for s in outcome["steps"]] == [True, False]
+        assert outcome["steps"][1]["from"] == "pr2"
+
+    def test_needs_two_reports(self):
+        with pytest.raises(ObservabilityError):
+            compare_trajectory([BASE])
+
+
+class TestLoadBench:
+    def test_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text('{"schema": "other/v9"}')
+        with pytest.raises(ObservabilityError):
+            load_bench(str(path))
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            load_bench(str(tmp_path / "nope.json"))
+
+
+class TestRegressCli:
+    def write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_exit_codes(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASE)
+        ok = self.write(
+            tmp_path,
+            "ok.json",
+            bench_report(
+                round_loop={"seconds": 1.1, "digest": "aaa"},
+                scale_loop={"seconds": 4.0, "digest": "bbb"},
+                churn={"seconds": 0.5, "digest": "ccc"},
+            ),
+        )
+        bad = self.write(
+            tmp_path,
+            "bad.json",
+            bench_report(
+                round_loop={"seconds": 9.0, "digest": "aaa"},
+                scale_loop={"seconds": 4.0, "digest": "bbb"},
+                churn={"seconds": 0.5, "digest": "ccc"},
+            ),
+        )
+        gates = ["--gate", "round_loop", "--gate", "scale_loop"]
+        assert main(["regress", base, ok, "--tolerance", "0.25"] + gates) == 0
+        assert "ok" in capsys.readouterr().out
+        assert main(["regress", base, bad, "--tolerance", "0.25"] + gates) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        # a renamed gate is an error (2), not a silent pass
+        assert main(["regress", base, ok, "--gate", "gone"]) == 2
+
+    def test_json_output_and_trajectory(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASE)
+        mid = self.write(tmp_path, "mid.json", BASE)
+        bad = self.write(
+            tmp_path,
+            "bad.json",
+            bench_report(
+                round_loop={"seconds": 9.0, "digest": "aaa"},
+                scale_loop={"seconds": 4.0, "digest": "bbb"},
+                churn={"seconds": 0.5, "digest": "ccc"},
+            ),
+        )
+        assert main(["regress", base, mid, bad, "--json"]) == 1
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["ok"] is False
+        assert len(outcome["steps"]) == 2
+
+    def test_single_report_is_usage_error(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASE)
+        assert main(["regress", base]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,144 @@
+"""Tests for deterministic hash-based trace sampling.
+
+The load-bearing property: the sampling verdict is a pure function of
+``(kind, process-string, event_id, rate)`` — no RNG, no ``hash()`` — so
+a sampled trace is the *same subset* of records on every interpreter
+launch, every ``PYTHONHASHSEED``, every worker count, and every engine
+that emits the same record stream.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import TraceLog
+from repro.obs.sampling import (
+    SAMPLING_SCHEME,
+    SampledTrace,
+    TraceSampler,
+    keep,
+    keep_mask,
+    rescale,
+)
+
+
+class TestKeep:
+    def test_deterministic_and_memo_agrees(self):
+        sampler = TraceSampler(0.37)
+        for kind in ("send", "receive", "deliver", "crash"):
+            for process in ("0.1.2", "3.0.1", "2.2.2"):
+                stateless = keep(kind, process, 7, 0.37)
+                assert sampler.keep(kind, process, 7) is stateless
+                # memoized second call returns the same verdict
+                assert sampler.keep(kind, process, 7) is stateless
+
+    def test_rate_one_keeps_everything(self):
+        assert all(
+            keep("send", f"0.{i}", 3, 1.0) for i in range(64)
+        )
+        assert keep_mask("send", [f"0.{i}" for i in range(64)], 3, 1.0) == (
+            [True] * 64
+        )
+
+    def test_mask_matches_stateless_verdicts(self):
+        processes = [f"{a}.{b}" for a in range(4) for b in range(4)]
+        mask = keep_mask("receive", processes, 9, 0.4)
+        assert mask == [
+            keep("receive", process, 9, 0.4) for process in processes
+        ]
+
+    def test_rate_roughly_respected(self):
+        processes = [f"{a}.{b}.{c}"
+                     for a in range(10) for b in range(10) for c in range(10)]
+        kept = sum(keep_mask("send", processes, 1, 0.3))
+        # 1000 Bernoulli(0.3) trials: ±6 sigma around 300.
+        assert 215 < kept < 385
+
+    def test_kinds_sample_independently(self):
+        processes = [f"{a}.{b}" for a in range(8) for b in range(8)]
+        sends = keep_mask("send", processes, 1, 0.5)
+        receives = keep_mask("receive", processes, 1, 0.5)
+        assert sends != receives
+
+    def test_bad_rates_rejected(self):
+        for rate in (0.0, -0.1, 1.5):
+            with pytest.raises(ObservabilityError):
+                keep("send", "0.0", 1, rate)
+        with pytest.raises(ObservabilityError):
+            TraceSampler(0.0)
+        with pytest.raises(ObservabilityError):
+            rescale(10, 0.0)
+
+    def test_rescale_inverts_rate(self):
+        assert rescale(30, 0.3) == pytest.approx(100.0)
+        assert rescale(7, 1.0) == 7.0
+
+    def test_verdicts_survive_pythonhashseed(self):
+        """The subset must not depend on interpreter hash randomization."""
+        snippet = (
+            "from repro.obs.sampling import keep;"
+            "print(''.join('1' if keep(k, f'{a}.{b}', 7, 0.35) else '0'"
+            " for k in ('send','receive','deliver')"
+            " for a in range(6) for b in range(6)))"
+        )
+        outputs = set()
+        for hash_seed in ("0", "1", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            result = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1
+        verdicts = outputs.pop()
+        assert set(verdicts) == {"0", "1"}
+
+
+class TestSampledTrace:
+    def test_filters_records_and_stamps_meta(self):
+        full = TraceLog()
+        sampled_log = TraceLog()
+        sampler = TraceSampler(0.5)
+        facade = SampledTrace(sampled_log, sampler)
+        assert sampled_log.meta["sampling"] == {
+            "rate": 0.5,
+            "scheme": SAMPLING_SCHEME,
+        }
+        for i in range(40):
+            process = f"0.{i}"
+            full.record(1, "send", process, peer="1.0", event_id=3)
+            facade.record(1, "send", process, peer="1.0", event_id=3)
+        kept = {str(r.process) for r in sampled_log}
+        expected = {
+            f"0.{i}" for i in range(40) if keep("send", f"0.{i}", 3, 0.5)
+        }
+        assert kept == expected
+        assert 0 < len(sampled_log) < len(full)
+
+    def test_sampled_subset_of_full(self):
+        sampler = TraceSampler(0.4)
+        full, sampled_log = TraceLog(), TraceLog()
+        facade = SampledTrace(sampled_log, sampler)
+        for emit in (full.record, facade.record):
+            emit(0, "publish", "0.0", event_id=2)
+            for i in range(20):
+                emit(1, "receive", f"1.{i}", peer="0.0", event_id=2)
+        full_set = {tuple(sorted(r.to_dict().items())) for r in full}
+        sampled_set = {
+            tuple(sorted(r.to_dict().items())) for r in sampled_log
+        }
+        assert sampled_set <= full_set
+
+    def test_annotate_passes_through(self):
+        log = TraceLog()
+        facade = SampledTrace(log, TraceSampler(0.1))
+        facade.annotate(rounds=12, producer="test")
+        assert log.meta["rounds"] == 12
+        assert log.meta["producer"] == "test"

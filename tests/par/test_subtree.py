@@ -5,11 +5,13 @@ import pytest
 
 from repro.config import PmcastConfig, SimConfig
 from repro.errors import SimulationError
+from repro.obs import MetricsRegistry, Observer
 from repro.par import (
     TrialExecutor,
     build_regular_spec,
     run_sharded_dissemination,
 )
+from repro.par.subtree import shard_trace_path
 
 CONFIG = PmcastConfig(fanout=3, redundancy=3, min_rounds_per_depth=2)
 
@@ -88,6 +90,160 @@ class TestReportShape:
         spec = _spec(tau=0.5)
         report = run_sharded_dissemination(spec)
         assert report.received_total >= 1
+
+
+def _traced_spec(arity=5, depth=3, trace_rate=1.0, seed=7):
+    return build_regular_spec(
+        arity,
+        depth,
+        0.25,
+        config=CONFIG,
+        sim_config=SimConfig(
+            seed=seed,
+            loss_probability=0.05,
+            crash_fraction=0.02,
+            max_rounds=48,
+        ),
+        event_id=1,
+        trace_rate=trace_rate,
+    )
+
+
+def _shard_files(tmp_path, subdir, jobs, trace_rate=1.0):
+    spec = _traced_spec(trace_rate=trace_rate)
+    trace_dir = str(tmp_path / subdir)
+    if jobs == 1:
+        report = run_sharded_dissemination(spec, trace_dir=trace_dir)
+    else:
+        with TrialExecutor(jobs=jobs) as pool:
+            report = run_sharded_dissemination(
+                spec, executor=pool, trace_dir=trace_dir
+            )
+    paths = [
+        shard_trace_path(trace_dir, shard)
+        for shard in range(spec.num_shards)
+    ]
+    return report, paths
+
+
+class TestShardTraces:
+    """Per-shard trace files: jobs-independent, valid, report-faithful."""
+
+    @pytest.mark.parametrize("trace_rate", [1.0, 0.5])
+    def test_byte_identical_at_any_job_count(self, tmp_path, trace_rate):
+        serial_report, serial = _shard_files(
+            tmp_path, "serial", jobs=1, trace_rate=trace_rate
+        )
+        pool_report, pooled = _shard_files(
+            tmp_path, "pool", jobs=4, trace_rate=trace_rate
+        )
+        assert pool_report == serial_report
+        for left, right in zip(serial, pooled):
+            with open(left, "rb") as a, open(right, "rb") as b:
+                assert a.read() == b.read()
+
+    def test_each_shard_file_validates(self, tmp_path):
+        from repro.obs.sink import validate_trace
+
+        __, paths = _shard_files(tmp_path, "valid", jobs=1)
+        for path in paths:
+            count, problems = validate_trace(path)
+            assert problems == []
+            assert count > 0
+
+    def test_merged_summary_matches_report(self, tmp_path):
+        from repro.obs.cli import summarize_trace
+        from repro.obs.sink import merge_traces
+
+        report, paths = _shard_files(tmp_path, "merged", jobs=2)
+        merged = str(tmp_path / "merged.jsonl")
+        merge_traces(paths, merged)
+        entry = summarize_trace(merged)["events"]["1"]
+        assert entry["delivery_ratio"] == pytest.approx(
+            report.delivery_ratio
+        )
+        assert entry["false_reception_ratio"] == pytest.approx(
+            report.false_reception_ratio
+        )
+
+    def test_metrics_fold_identically_across_jobs(self, tmp_path):
+        def metrics(jobs):
+            registry = MetricsRegistry()
+            observer = Observer(registry=registry)
+            if jobs == 1:
+                run_sharded_dissemination(_spec(), observer=observer)
+            else:
+                with TrialExecutor(jobs=jobs) as pool:
+                    run_sharded_dissemination(
+                        _spec(), executor=pool, observer=observer
+                    )
+            return registry.snapshot()["subtree"]
+
+        serial = metrics(1)
+        pooled = metrics(4)
+        assert serial["waves"] > 0
+        assert serial["envelopes_sent"] > 0
+        assert pooled == serial
+
+    def test_golden_sampled_trace_at_paper_scale(self, tmp_path):
+        """n = 22³ = 10648 with rate 0.25: the sampled subset is pinned.
+
+        Any drift in the kernel's record emission, the sampling hash, or
+        the shard round-stamping convention shows up here as a changed
+        record count or a changed first/last record.
+        """
+        from repro.obs.cli import summarize_trace
+        from repro.obs.sink import merge_traces, read_trace
+
+        spec = build_regular_spec(
+            22,
+            3,
+            0.25,
+            config=CONFIG,
+            sim_config=SimConfig(
+                seed=7,
+                loss_probability=0.05,
+                crash_fraction=0.02,
+                max_rounds=48,
+            ),
+            event_id=1,
+            trace_rate=0.25,
+        )
+        trace_dir = str(tmp_path / "golden")
+        report = run_sharded_dissemination(spec, trace_dir=trace_dir)
+        merged = str(tmp_path / "golden.jsonl")
+        merge_traces(
+            [
+                shard_trace_path(trace_dir, shard)
+                for shard in range(spec.num_shards)
+            ],
+            merged,
+        )
+        log = read_trace(merged)
+        records = list(log)
+        assert log.meta["sampling"]["rate"] == 0.25
+        entry = summarize_trace(merged)["events"]["1"]
+        assert entry["estimated"] is True
+        assert (
+            abs(entry["delivery_ratio"] - report.delivery_ratio) <= 0.05
+        )
+        assert len(records) == 12023
+        assert records[0].to_dict() == {
+            "round": 1,
+            "kind": "deliver",
+            "process": "3.0.1",
+            "peer": None,
+            "event_id": 1,
+            "depth": 0,
+        }
+        assert records[-1].to_dict() == {
+            "round": 17,
+            "kind": "crash",
+            "process": "20.10.10",
+            "peer": None,
+            "event_id": 0,
+            "depth": 0,
+        }
 
 
 class TestBuildValidation:

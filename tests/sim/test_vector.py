@@ -19,6 +19,7 @@ import random
 import subprocess
 import sys
 import textwrap
+import warnings
 
 import numpy as np
 import pytest
@@ -149,12 +150,14 @@ class TestCompatBitIdentity:
         # A fault plan disables the fast path (the injector owns the
         # transmit step); vectorized=True must still reproduce the
         # scalar faulted run exactly because the dispatch declines
-        # before touching any RNG stream.
+        # before touching any RNG stream.  The decline is loud: one
+        # RuntimeWarning naming the reason.
         config = PmcastConfig(fanout=2, redundancy=2)
         plan = FaultPlan(name="burst").with_loss_burst(2, 4, 0.5)
-        scalar, vector = _run_pair(
-            config, {"loss_probability": 0.05}, faults=plan
-        )
+        with pytest.warns(RuntimeWarning, match="faults"):
+            scalar, vector = _run_pair(
+                config, {"loss_probability": 0.05}, faults=plan
+            )
         assert vector[0] == scalar[0]
         assert vector[1] == scalar[1]
 
@@ -171,15 +174,27 @@ class TestCompatBitIdentity:
                 lambda sender, dest: (sender, dest)
                 == (addresses[1], addresses[2])
             )
-            reports.append(
-                run_dissemination(
-                    group,
-                    addresses[0],
-                    event,
-                    SimConfig(seed=11, vectorized=vectorized),
-                    network=network,
+            if vectorized:
+                with pytest.warns(RuntimeWarning, match="link_rules"):
+                    reports.append(
+                        run_dissemination(
+                            group,
+                            addresses[0],
+                            event,
+                            SimConfig(seed=11, vectorized=vectorized),
+                            network=network,
+                        )
+                    )
+            else:
+                reports.append(
+                    run_dissemination(
+                        group,
+                        addresses[0],
+                        event,
+                        SimConfig(seed=11, vectorized=vectorized),
+                        network=network,
+                    )
                 )
-            )
         assert reports[0] == reports[1]
 
     def test_hash_seed_independent(self):
@@ -218,6 +233,118 @@ class TestCompatBitIdentity:
             )
             digests.append(result.stdout)
         assert digests[0] == digests[1]
+
+
+class TestFallbackObservability:
+    """Silent fallback is banned: counter + reason label + warning."""
+
+    def _run(self, registry, faults=None, network=None, **sim_kwargs):
+        from repro.obs import Observer
+
+        config = PmcastConfig(fanout=2, redundancy=2)
+        group, addresses = _build_group(config)
+        return run_dissemination(
+            group,
+            addresses[0],
+            Event({"golden": 1}, event_id=42),
+            SimConfig(seed=11, vectorized=True, **sim_kwargs),
+            faults=faults,
+            network=network,
+            observer=Observer(registry=registry),
+        )
+
+    def test_eligible_run_is_silent_and_uncounted(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            self._run(registry, loss_probability=0.05)
+        assert registry.counter("sim", "vector_fallback").value == 0
+
+    def test_fault_fallback_counted_by_reason(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        plan = FaultPlan(name="burst").with_loss_burst(2, 4, 0.5)
+        with pytest.warns(RuntimeWarning, match="faults"):
+            self._run(registry, faults=plan)
+        assert registry.counter("sim", "vector_fallback").value == 1
+        assert (
+            registry.counter("sim", "vector_fallback_faults").value == 1
+        )
+        assert (
+            registry.counter("sim", "vector_fallback_link_rules").value
+            == 0
+        )
+
+    def test_link_rule_fallback_counted_by_reason(self):
+        from repro.obs import MetricsRegistry
+        from repro.sim.network import LossyNetwork
+
+        registry = MetricsRegistry()
+        network = LossyNetwork(0.0, derive_rng(11, "network", 42))
+        network.block(lambda sender, dest: False)
+        with pytest.warns(RuntimeWarning, match="link_rules"):
+            self._run(registry, network=network)
+        assert (
+            registry.counter("sim", "vector_fallback_link_rules").value
+            == 1
+        )
+
+
+class TestTracedBitIdentity:
+    """Sampled or not, both engines must emit the same records."""
+
+    def _traced_run(self, config, sim_kwargs, vectorized, rate=None):
+        from repro.obs import TraceLog
+        from repro.obs.sampling import TraceSampler
+
+        group, addresses = _build_group(config)
+        trace = TraceLog()
+        report = run_dissemination(
+            group,
+            addresses[0],
+            Event({"golden": 1}, event_id=42),
+            SimConfig(seed=11, vectorized=vectorized, **sim_kwargs),
+            trace=trace,
+            sampler=TraceSampler(rate) if rate is not None else None,
+        )
+        return report, trace
+
+    @pytest.mark.parametrize(
+        "config,sim_kwargs", [m[1:] for m in MATRIX],
+        ids=[m[0] for m in MATRIX],
+    )
+    def test_full_traces_identical(self, config, sim_kwargs):
+        __, scalar = self._traced_run(config, sim_kwargs, False)
+        __, vector = self._traced_run(config, sim_kwargs, True)
+        assert [r.to_dict() for r in vector] == [
+            r.to_dict() for r in scalar
+        ]
+
+    @pytest.mark.parametrize("rate", [0.25, 0.6])
+    def test_sampled_traces_identical_and_subset(self, rate):
+        config = PmcastConfig(fanout=2, redundancy=2)
+        sim_kwargs = {"loss_probability": 0.05, "crash_fraction": 0.03}
+        full_report, full = self._traced_run(config, sim_kwargs, False)
+        scalar_report, scalar = self._traced_run(
+            config, sim_kwargs, False, rate=rate
+        )
+        vector_report, vector = self._traced_run(
+            config, sim_kwargs, True, rate=rate
+        )
+        # Sampling is out of band: the report never changes.
+        assert scalar_report == full_report
+        assert vector_report == full_report
+        scalar_records = [r.to_dict() for r in scalar]
+        assert [r.to_dict() for r in vector] == scalar_records
+        assert vector.meta["sampling"] == scalar.meta["sampling"]
+        full_set = {tuple(sorted(r.to_dict().items())) for r in full}
+        assert {
+            tuple(sorted(r)) for r in (d.items() for d in scalar_records)
+        } <= full_set
+        assert 0 < len(scalar) < len(full)
 
 
 class TestRegularTreeSpec:
