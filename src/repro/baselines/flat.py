@@ -19,26 +19,34 @@ The paper's introduction motivates pmcast against two flat designs:
 
 Both run under the same round-synchronous loss/crash model as pmcast
 so that reports are directly comparable.
+
+Since the strategy-seam extraction the inner loop lives in
+:class:`repro.variants.flat_push.FlatPushVariant`; the two entry
+points below build the variant on the historical RNG streams
+(``flat-gossip`` / ``flat-network`` / ``flat-crash``) and drive it
+through :func:`repro.variants.base.run_variant` — reports are
+bit-identical to the pre-extraction loop, and the baselines gained
+``trace``/``sampler``/``faults``/``timeline`` support for free.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Set
+from typing import Mapping, Optional
 
-from repro.addressing import Address, distance
+from repro.addressing import Address
 from repro.config import SimConfig
-from repro.core.rounds import pittel_rounds, round_bound
-from repro.errors import SimulationError
 from repro.interests.events import Event
 from repro.interests.subscriptions import Interest
 from repro.sim.crashes import CrashSchedule
 from repro.sim.metrics import DisseminationReport
 from repro.sim.rng import derive_rng
+from repro.variants.flat_push import (
+    FLAT_MAX_ROUND_BOUND,
+    FlatPushVariant,
+    run_flat_style,
+)
 
 __all__ = ["flat_gossip_broadcast", "flat_genuine_multicast", "FLAT_MAX_ROUND_BOUND"]
-
-# Flat groups are large (the whole n), so allow the Pittel bound room.
-FLAT_MAX_ROUND_BOUND = 128
 
 
 def _run_flat(
@@ -49,127 +57,28 @@ def _run_flat(
     sim_config: SimConfig,
     restrict_to_interested: bool,
     crash_schedule: Optional[CrashSchedule],
+    trace=None,
+    sampler=None,
+    faults=None,
+    timeline=None,
 ) -> DisseminationReport:
-    if publisher not in members:
-        raise SimulationError(f"publisher {publisher} is not a member")
-    if fanout < 1:
-        raise SimulationError(f"fanout {fanout} must be >= 1")
-
-    addresses = sorted(members)
-    interested = {
-        address
-        for address in addresses
-        if members[address].matches(event)
-    }
-    if restrict_to_interested:
-        # Genuine multicast: the run involves only interested processes
-        # (plus the publisher, who always knows what it published).
-        population = sorted(interested | {publisher})
-        bound = round_bound(
-            pittel_rounds(len(interested), fanout),
-            maximum=FLAT_MAX_ROUND_BOUND,
-        )
-    else:
-        population = addresses
-        bound = round_bound(
-            pittel_rounds(len(addresses), fanout),
-            maximum=FLAT_MAX_ROUND_BOUND,
-        )
-
-    loss_rng = derive_rng(sim_config.seed, "flat-network", event.event_id)
-    gossip_rng = derive_rng(sim_config.seed, "flat-gossip", event.event_id)
-    if crash_schedule is None:
-        crash_schedule = CrashSchedule.sample(
-            addresses,
-            sim_config.crash_fraction,
-            horizon=max(bound, 1),
-            rng=derive_rng(sim_config.seed, "flat-crash", event.event_id),
-        )
-
-    tree_depth = publisher.depth
-    messages_by_distance = [0] * tree_depth
-    # rounds_left[address] = gossip budget; present only once infected.
-    rounds_left: Dict[Address, int] = {publisher: bound}
-    infected: Set[Address] = {publisher}
-    dead: Set[Address] = set()
-    messages_sent = 0
-    messages_lost = 0
-    duplicate_receptions = 0
-    infection_curve: List[int] = []
-    rounds = 0
-
-    targets = [
-        address for address in population if address != publisher
-    ] if restrict_to_interested else [a for a in addresses]
-
-    for round_index in range(sim_config.max_rounds):
-        for victim in crash_schedule.crashes_at(round_index):
-            dead.add(victim)
-            rounds_left.pop(victim, None)
-        senders = [
-            address
-            for address, budget in rounds_left.items()
-            if budget > 0 and address not in dead
-        ]
-        if not senders:
-            break
-        rounds = round_index + 1
-        arrivals: List[Address] = []
-        for sender in senders:
-            rounds_left[sender] -= 1
-            if len(targets) <= 1 and targets == [sender]:
-                continue
-            # Draw one extra candidate so a self-hit can be discarded
-            # without copying the whole target list per sender.
-            drawn = gossip_rng.sample(
-                targets, min(fanout + 1, len(targets))
-            )
-            picks = [t for t in drawn if t != sender][:fanout]
-            for destination in picks:
-                messages_sent += 1
-                hops = distance(sender, destination)
-                messages_by_distance[max(hops, 1) - 1] += 1
-                if (
-                    sim_config.loss_probability > 0.0
-                    and loss_rng.random() < sim_config.loss_probability
-                ):
-                    messages_lost += 1
-                    continue
-                if destination in dead:
-                    messages_lost += 1
-                    continue
-                arrivals.append(destination)
-        for destination in arrivals:
-            if destination in infected:
-                duplicate_receptions += 1
-            else:
-                infected.add(destination)
-                rounds_left[destination] = bound
-        infection_curve.append(len(infected))
-
-    uninterested = [
-        address
-        for address in addresses
-        if address not in interested and address != publisher
-    ]
-    return DisseminationReport(
-        group_size=len(addresses),
-        interested=len(interested),
-        uninterested=len(uninterested),
-        delivered_interested=sum(
-            1 for address in interested if address in infected
-        ),
-        received_uninterested=sum(
-            1 for address in uninterested if address in infected
-        ),
-        received_total=len(infected),
-        crashed=crash_schedule.victim_count,
-        rounds=rounds,
-        messages_sent=messages_sent,
-        messages_lost=messages_lost,
-        duplicate_receptions=duplicate_receptions,
-        infection_curve=tuple(infection_curve),
-        messages_by_distance=tuple(messages_by_distance),
+    variant = FlatPushVariant(
+        members,
+        publisher,
+        event,
+        fanout,
+        derive_rng(sim_config.seed, "flat-gossip", event.event_id),
+        sim_config.seed,
+        restrict_to_interested=restrict_to_interested,
+    )
+    return run_flat_style(
+        variant,
+        sim_config,
+        crash_schedule=crash_schedule,
+        trace=trace,
+        sampler=sampler,
+        faults=faults,
+        timeline=timeline,
     )
 
 
@@ -180,6 +89,10 @@ def flat_gossip_broadcast(
     fanout: int = 2,
     sim_config: Optional[SimConfig] = None,
     crash_schedule: Optional[CrashSchedule] = None,
+    trace=None,
+    sampler=None,
+    faults=None,
+    timeline=None,
 ) -> DisseminationReport:
     """pbcast-style broadcast: gossip to anyone, filter at delivery.
 
@@ -196,6 +109,10 @@ def flat_gossip_broadcast(
         sim_config or SimConfig(),
         restrict_to_interested=False,
         crash_schedule=crash_schedule,
+        trace=trace,
+        sampler=sampler,
+        faults=faults,
+        timeline=timeline,
     )
 
 
@@ -206,6 +123,10 @@ def flat_genuine_multicast(
     fanout: int = 2,
     sim_config: Optional[SimConfig] = None,
     crash_schedule: Optional[CrashSchedule] = None,
+    trace=None,
+    sampler=None,
+    faults=None,
+    timeline=None,
 ) -> DisseminationReport:
     """Genuine multicast with (unrealistic) global subscription knowledge.
 
@@ -222,4 +143,8 @@ def flat_genuine_multicast(
         sim_config or SimConfig(),
         restrict_to_interested=True,
         crash_schedule=crash_schedule,
+        trace=trace,
+        sampler=sampler,
+        faults=faults,
+        timeline=timeline,
     )

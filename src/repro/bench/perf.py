@@ -767,6 +767,116 @@ def _traced_scale_point(
     }
 
 
+#: The (ε, τ) grid the variant comparison sweeps (the validate
+#: harness's quick grid, so bench rows and conformance bands line up).
+VARIANT_GRID = ((0.0, 0.0), (0.05, 0.0), (0.1, 0.05))
+
+
+def bench_variant_compare(
+    arity: int, depth: int, seed: int, mode: str
+) -> Optional[Dict[str, Any]]:
+    """pmcast vs the dissemination-variant ablations across (ε, τ).
+
+    One dissemination per algorithm per grid point — pmcast (the tree
+    engine), pure flat push, lazy push-then-pull, and bounded-view
+    gossip — all over the same member population and master seed.  The
+    sweep table reports delivery probability, false-reception ratio,
+    total and control message counts, and per-event message cost
+    (:attr:`~repro.sim.metrics.DisseminationReport.cost_per_delivery`)
+    per row; ``lazy_beats_pmcast_points`` counts the grid points where
+    lazy pull delivers at least pmcast's ratio on strictly fewer
+    messages (the PR's acceptance claim — CI asserts it is >= 1).  The
+    digest folds in every row, so *any* behavior change in a variant —
+    not just timing — breaks baseline comparison.
+    """
+    from repro.baselines.flat import flat_gossip_broadcast
+    from repro.sim.engine import run_dissemination
+    from repro.sim.group import PmcastGroup
+    from repro.variants.bounded_view import bounded_view_broadcast
+    from repro.variants.lazy_pull import lazy_pull_broadcast
+
+    if mode == "legacy":
+        return None
+    space = AddressSpace.regular(arity, depth)
+    addresses = space.enumerate_regular(arity)
+    members = bernoulli_interests(
+        addresses, 0.25, derive_rng(seed, "perf-interests")
+    )
+    config = PmcastConfig(fanout=3, redundancy=3)
+    publisher = addresses[0]
+    fanout = 3
+
+    def row(algorithm: str, eps: float, tau: float, report) -> Dict[str, Any]:
+        return {
+            "algorithm": algorithm,
+            "eps": eps,
+            "tau": tau,
+            "delivery_ratio": round(report.delivery_ratio, 4),
+            "false_reception_ratio": round(
+                report.false_reception_ratio, 4
+            ),
+            "messages_sent": report.messages_sent,
+            "control_messages": report.control_messages,
+            "cost_per_delivery": round(report.cost_per_delivery, 2),
+            "rounds": report.rounds,
+        }
+
+    rows: List[Dict[str, Any]] = []
+    lazy_beats_pmcast = 0
+    started = time.perf_counter()
+    for eps, tau in VARIANT_GRID:
+        event = Event({"perf": 1}, event_id=7)
+        sim = SimConfig(
+            seed=seed, loss_probability=eps, crash_fraction=tau
+        )
+        # Node state mutates during a run: pmcast needs a fresh group
+        # per grid point.
+        group = PmcastGroup.build(members, config)
+        pmcast = run_dissemination(group, publisher, event, sim)
+        push = flat_gossip_broadcast(
+            members, publisher, event, fanout, sim_config=sim
+        )
+        lazy = lazy_pull_broadcast(
+            members,
+            publisher,
+            event,
+            fanout,
+            sim_config=sim,
+            infection_threshold=0.5,
+            pull_fanout=2,
+            retry_budget=8,
+        )
+        bounded = bounded_view_broadcast(
+            members,
+            publisher,
+            event,
+            fanout,
+            sim_config=sim,
+            view_size=8,
+            shuffle_size=2,
+        )
+        rows.append(row("pmcast", eps, tau, pmcast))
+        rows.append(row("flat_push", eps, tau, push))
+        rows.append(row("lazy_pull", eps, tau, lazy))
+        rows.append(row("bounded_view", eps, tau, bounded))
+        if (
+            lazy.delivery_ratio >= pmcast.delivery_ratio
+            and lazy.messages_sent < pmcast.messages_sent
+        ):
+            lazy_beats_pmcast += 1
+    seconds = time.perf_counter() - started
+    return {
+        "members": len(addresses),
+        "seconds": round(seconds, 4),
+        "grid_points": len(VARIANT_GRID),
+        "lazy_beats_pmcast_points": lazy_beats_pmcast,
+        "sweep_table": rows,
+        "digest": _sha1(
+            [json.dumps(entry, sort_keys=True) for entry in rows]
+        ),
+    }
+
+
 _BENCHES = {
     "round_loop": bench_round_loop,
     "faulted_round_loop": bench_faulted_round_loop,
@@ -776,6 +886,7 @@ _BENCHES = {
     "membership_plane": bench_membership_plane,
     "sweep": bench_sweep,
     "scale_loop": bench_scale_loop,
+    "variant_compare": bench_variant_compare,
 }
 
 #: Benchmarks excluded from the default selection (opt in via --bench

@@ -357,12 +357,16 @@ class FaultInjector:
         self, round_index: int, kind: str, envelope: Envelope, value: int = 0
     ) -> None:
         if self._emit is not None:
+            # Flat-style variant envelopes carry no gossip depth (the
+            # engine's always do); record them at depth 0 like every
+            # other flat-plane trace record.
+            depth = envelope.message.depth
             self._emit(
                 round_index + self._clock_offset,
                 kind,
                 envelope.message.sender,
                 peer=envelope.destination,
                 event_id=envelope.message.event.event_id,
-                depth=envelope.message.depth,
+                depth=0 if depth is None else depth,
                 value=value,
             )

@@ -17,7 +17,12 @@ One schema covers both planes of the system:
 * **fault-injection** records (``fault_loss | fault_delay |
   fault_release | fault_partition | fault_heal | fault_crash``) from
   :class:`repro.faults.injector.FaultInjector`, so a degraded run's
-  trace explains *which* scripted fault did the damage.
+  trace explains *which* scripted fault did the damage;
+* **variant control-plane** records (``pull_request | pull_reply |
+  view_shuffle``) from the :mod:`repro.variants` strategies — pull
+  recovery traffic and lpbcast view shuffles, one record per control
+  envelope (``value`` 1 = arrived, 0 = dropped by the network;
+  ``view_shuffle`` is receiver-side, ``value`` = entries merged).
 
 Records serialize to single JSON objects (see :mod:`repro.obs.sink`),
 tagged :data:`TRACE_SCHEMA` so offline tooling can reject traces it
@@ -59,6 +64,9 @@ KINDS = (
     "fault_partition",
     "fault_heal",
     "fault_crash",
+    "pull_request",
+    "pull_reply",
+    "view_shuffle",
 )
 
 _KIND_SET = frozenset(KINDS)
@@ -74,10 +82,12 @@ _PEER_OUT = frozenset(
         "fault_release",
         "fault_partition",
         "fault_heal",
+        "pull_request",
+        "pull_reply",
     )
 )
 #: Kinds whose ``peer`` is a source or object (rendered ``<-``).
-_PEER_IN = frozenset(("receive", "suspect"))
+_PEER_IN = frozenset(("receive", "suspect", "view_shuffle"))
 
 
 @dataclass(frozen=True)

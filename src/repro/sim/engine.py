@@ -15,21 +15,19 @@ collection emptied all buffers) or at the ``max_rounds`` safety cap.
 from __future__ import annotations
 
 import warnings
-from typing import Dict, List, Optional, Set
+from typing import Optional
 
-from repro.addressing import Address, distance
+from repro.addressing import Address
 from repro.config import SimConfig
 from repro.core.context import GossipContext
-from repro.core.messages import Envelope
-from repro.core.node import PmcastNode
 from repro.errors import SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.interests.events import Event
 from repro.obs.probes import Observer
 from repro.obs.registry import NULL_REGISTRY
-from repro.obs.sampling import SampledTrace, TraceSampler
-from repro.obs.timeline import NULL_SPAN, TimelineRecorder
+from repro.obs.sampling import TraceSampler
+from repro.obs.timeline import TimelineRecorder
 from repro.sim.crashes import CrashSchedule
 from repro.sim.group import PmcastGroup
 from repro.sim.metrics import DisseminationReport
@@ -172,193 +170,22 @@ def run_dissemination(
             stacklevel=2,
         )
 
-    # Ground truth for the metrics, before anybody crashes.
-    interested = set(group.interested_members(event))
-    sent_before = sum(node.messages_sent for node in group.nodes())
-    receptions_before = sum(node.receptions for node in group.nodes())
+    # The scalar path is the pmcast dissemination strategy running on
+    # the shared round driver (the strategy seam extracted from this
+    # very loop — see repro.variants.base).  PmcastVariant is an exact
+    # port: same insertion-ordered active set, same RNG draw order,
+    # same trace records, bit-identical reports.
+    from repro.variants.base import run_variant
+    from repro.variants.pmcast import PmcastVariant
 
-    origin.pmcast(event, ctx)
-    emit = None
-    if trace is not None:
-        emit = (
-            trace.record
-            if sampler is None
-            else SampledTrace(trace, sampler).record
-        )
-        trace.annotate(
-            producer="repro.sim.engine",
-            publisher=str(publisher),
-            event_id=event.event_id,
-            group_size=group.size,
-            interested=sorted(str(address) for address in interested),
-            interested_count=len(interested),
-            uninterested_count=group.size
-            - len(interested)
-            - (0 if publisher in interested else 1),
-            publisher_interested=publisher in interested,
-            seed=sim_config.seed,
-        )
-        if faults is not None:
-            trace.annotate(fault_plan=faults.to_dict())
-        emit(0, "publish", publisher, event_id=event.event_id)
-        if origin.has_delivered(event):
-            emit(0, "deliver", publisher, event_id=event.event_id)
-
-    # The active set is an insertion-ordered dict, not a set: gossip
-    # order feeds the shared RNG, and set iteration order depends on
-    # the per-process string hash seed (PYTHONHASHSEED) through
-    # Address.__hash__ — a run would not be reproducible across
-    # processes.  Dict order is insertion order, always.
-    active: Dict[Address, PmcastNode] = {publisher: origin}
-    infected: Set[Address] = {publisher}
-    infection_curve: List[int] = []
-    tree_depth = group.tree.depth
-    messages_by_distance = [0] * tree_depth
-    rounds = 0
-    for round_index in range(sim_config.max_rounds):
-        victims = crash_schedule.crashes_at(round_index)
-        if injector is not None:
-            injector.begin_round(round_index)
-            scheduled = set(victims)
-            victims = victims + [
-                victim
-                for victim in injector.crashes_at(round_index)
-                if victim not in scheduled
-            ]
-        for victim in victims:
-            node = group.node(victim)
-            if not node.alive:
-                continue
-            node.alive = False
-            active.pop(victim, None)
-            if emit is not None:
-                emit(round_index + 1, "crash", victim)
-        if not active and (injector is None or not injector.has_pending):
-            break
-        rounds = round_index + 1
-
-        envelopes: List[Envelope] = []
-        with (
-            timeline.span("fan_out", "engine", rounds)
-            if timeline is not None
-            else NULL_SPAN
-        ):
-            idle: List[Address] = []
-            for address, node in active.items():
-                envelopes.extend(node.gossip_step(ctx))
-                if node.is_idle:
-                    idle.append(address)
-            for address in idle:
-                del active[address]
-            for envelope in envelopes:
-                hops = distance(envelope.message.sender, envelope.destination)
-                messages_by_distance[max(hops, 1) - 1] += 1
-
-        with (
-            timeline.span("exchange", "engine", rounds)
-            if timeline is not None
-            else NULL_SPAN
-        ):
-            if injector is None:
-                delivered_envelopes = network.transmit(envelopes)
-            else:
-                delivered_envelopes = injector.transmit(
-                    round_index, envelopes, network
-                )
-            if emit is not None:
-                arrived = {id(envelope) for envelope in delivered_envelopes}
-                diverted = (
-                    injector.last_diverted if injector is not None
-                    else frozenset()
-                )
-                for envelope in envelopes:
-                    # Fault-diverted envelopes carry their own fault_*
-                    # record; one disposition record per envelope per
-                    # round.
-                    if id(envelope) in diverted:
-                        continue
-                    kind = "send" if id(envelope) in arrived else "loss"
-                    emit(
-                        rounds,
-                        kind,
-                        envelope.message.sender,
-                        peer=envelope.destination,
-                        event_id=envelope.message.event.event_id,
-                        depth=envelope.message.depth,
-                    )
-            for envelope in delivered_envelopes:
-                receiver = group.node(envelope.destination)
-                freshly_delivered = (
-                    trace is not None
-                    and not receiver.has_delivered(envelope.message.event)
-                )
-                receiver.receive(envelope.message, ctx)
-                # A crashed process performs no protocol action, so it
-                # gets no receive record — the sender-side send record
-                # already documents the dead-letter envelope.
-                if emit is not None and receiver.alive:
-                    emit(
-                        rounds,
-                        "receive",
-                        envelope.destination,
-                        peer=envelope.message.sender,
-                        event_id=envelope.message.event.event_id,
-                        depth=envelope.message.depth,
-                    )
-                    if freshly_delivered and receiver.has_delivered(
-                        envelope.message.event
-                    ):
-                        emit(
-                            rounds,
-                            "deliver",
-                            envelope.destination,
-                            event_id=envelope.message.event.event_id,
-                        )
-                if receiver.alive:
-                    infected.add(envelope.destination)
-                    if not receiver.is_idle:
-                        active[envelope.destination] = receiver
-
-        infection_curve.append(len(infected))
-
-    if timeline is not None:
-        timeline.probe_memory(subsystem="engine", round_index=rounds)
-    if trace is not None:
-        trace.annotate(rounds=rounds)
-        if injector is not None:
-            trace.annotate(fault_stats=injector.stats())
-    delivered_interested = sum(
-        1 for address in interested if group.node(address).has_delivered(event)
-    )
-    uninterested = [
-        address
-        for address in group.addresses()
-        if address not in interested and address != publisher
-    ]
-    received_uninterested = sum(
-        1 for address in uninterested if group.node(address).has_received(event)
-    )
-    received_total = len(infected)
-    messages_sent = (
-        sum(node.messages_sent for node in group.nodes()) - sent_before
-    )
-    receptions = (
-        sum(node.receptions for node in group.nodes()) - receptions_before
-    )
-    first_receptions = received_total - 1  # the publisher never receives
-    return DisseminationReport(
-        group_size=group.size,
-        interested=len(interested),
-        uninterested=len(uninterested),
-        delivered_interested=delivered_interested,
-        received_uninterested=received_uninterested,
-        received_total=received_total,
-        crashed=crash_schedule.victim_count
-        + (0 if injector is None else injector.stats()["targeted_crashes"]),
-        rounds=rounds,
-        messages_sent=messages_sent,
-        messages_lost=network.messages_lost,
-        duplicate_receptions=max(receptions - first_receptions, 0),
-        infection_curve=tuple(infection_curve),
-        messages_by_distance=tuple(messages_by_distance),
+    variant = PmcastVariant(group, publisher, event, ctx, sim_config)
+    return run_variant(
+        variant,
+        sim_config,
+        network,
+        crash_schedule,
+        trace=trace,
+        sampler=sampler,
+        injector=injector,
+        timeline=timeline,
     )

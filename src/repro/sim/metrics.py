@@ -42,6 +42,10 @@ class DisseminationReport:
         messages_sent: total gossip envelopes handed to the network.
         messages_lost: envelopes dropped by the network.
         duplicate_receptions: receptions beyond each process's first.
+        control_messages: envelopes carrying variant control traffic
+            (pull requests/replies, view shuffles) rather than eager
+            payload gossip — a subset of ``messages_sent``, so cost
+            comparisons against control-free algorithms stay honest.
         infection_curve: per-round cumulative count of processes that
             have received the event (index 0 = after round 0).
         messages_by_distance: gossip envelopes grouped by the §2.2
@@ -62,6 +66,7 @@ class DisseminationReport:
     messages_sent: int
     messages_lost: int
     duplicate_receptions: int
+    control_messages: int = 0
     infection_curve: Tuple[int, ...] = ()
     messages_by_distance: Tuple[int, ...] = ()
 
@@ -76,6 +81,10 @@ class DisseminationReport:
             )
         if self.messages_lost > self.messages_sent:
             raise SimulationError("lost more messages than were sent")
+        if self.control_messages > self.messages_sent:
+            raise SimulationError(
+                "control_messages exceeds total messages_sent"
+            )
 
     @property
     def delivery_ratio(self) -> float:
@@ -95,6 +104,25 @@ class DisseminationReport:
     def network_overhead(self) -> float:
         """Messages per process actually interested (cost-of-delivery)."""
         return self.messages_sent / max(self.interested, 1)
+
+    @property
+    def cost_per_delivery(self) -> float:
+        """Messages spent per interested process that actually delivered.
+
+        The per-event message cost the variant comparison reports: the
+        total envelope count (payload *and* control) divided by
+        successful deliveries.  Unlike :attr:`network_overhead` it
+        penalizes undelivered interest — an algorithm that floods but
+        misses half its audience pays for the misses here.
+        """
+        return self.messages_sent / max(self.delivered_interested, 1)
+
+    @property
+    def control_fraction(self) -> float:
+        """Fraction of traffic that was control-plane (0 for pure push)."""
+        if self.messages_sent == 0:
+            return 0.0
+        return self.control_messages / self.messages_sent
 
     @property
     def boundary_crossing_fraction(self) -> float:
@@ -149,6 +177,7 @@ def summarize_reports(
 
     Returns summaries for ``delivery_ratio``, ``false_reception_ratio``,
     ``rounds``, ``messages_sent``, ``network_overhead``,
+    ``cost_per_delivery``, ``control_messages``,
     ``boundary_crossing_fraction`` (the §3.1 topology claim),
     ``duplicate_receptions`` and ``messages_lost``.
     """
@@ -162,6 +191,12 @@ def summarize_reports(
         "rounds": _summary([float(r.rounds) for r in reports]),
         "messages_sent": _summary([float(r.messages_sent) for r in reports]),
         "network_overhead": _summary([r.network_overhead for r in reports]),
+        "cost_per_delivery": _summary(
+            [r.cost_per_delivery for r in reports]
+        ),
+        "control_messages": _summary(
+            [float(r.control_messages) for r in reports]
+        ),
         "boundary_crossing_fraction": _summary(
             [r.boundary_crossing_fraction for r in reports]
         ),

@@ -418,7 +418,14 @@ class GroupRuntime:
     # -- the round loop -------------------------------------------------------
 
     def step(self) -> None:
-        """Execute one round: event gossip, membership gossip, detection."""
+        """Execute one round: event gossip, membership gossip, detection.
+
+        The round structure mirrors the dissemination driver's
+        (:func:`repro.variants.base.run_variant`): crash step, fan-out,
+        exchange — each stage is its own method so the runtime's round
+        anatomy lines up with the strategy seam, plus the membership
+        stage the single-event engine does not have.
+        """
         self._round += 1
         self._m_rounds.inc()
         if self._injector is not None:
@@ -430,100 +437,18 @@ class GroupRuntime:
                 if victim in self._tree and victim not in self._crashed:
                     self.crash(victim)
         timeline = self._obs.timeline
-        envelopes: List[Envelope] = []
         with (
             timeline.span("fan_out", "runtime", self._round)
             if timeline is not None
             else NULL_SPAN
         ):
-            if self._active_scheduling:
-                for address in sorted(
-                    self._active, key=self._node_seq.__getitem__
-                ):
-                    node = self._nodes[address]
-                    if not node.alive or address not in self._tree:
-                        continue
-                    envelopes.extend(node.gossip_step(self._ctx))
-                    if node.is_idle:
-                        self._active.discard(address)
-            else:
-                for address, node in self._nodes.items():
-                    if node.alive and address in self._tree:
-                        envelopes.extend(node.gossip_step(self._ctx))
-                        if node.is_idle:
-                            self._active.discard(address)
+            envelopes = self._fan_out_round()
         with (
             timeline.span("exchange", "runtime", self._round)
             if timeline is not None
             else NULL_SPAN
         ):
-            if self._injector is None:
-                survivors = self._network.transmit(envelopes)
-            else:
-                survivors = self._injector.transmit(
-                    self._round - 1, envelopes, self._network
-                )
-            self._m_sent.inc(len(envelopes))
-            # Released (delayed) envelopes can make survivors exceed this
-            # round's sends; injected losses are in the "faults" collector.
-            self._m_lost.inc(max(len(envelopes) - len(survivors), 0))
-            if self._obs.tracing and envelopes:
-                arrived = {id(envelope) for envelope in survivors}
-                diverted = (
-                    self._injector.last_diverted
-                    if self._injector is not None
-                    else frozenset()
-                )
-                for envelope in envelopes:
-                    if id(envelope) in diverted:
-                        continue
-                    self._obs.emit(
-                        self._round,
-                        "send" if id(envelope) in arrived else "loss",
-                        envelope.message.sender,
-                        peer=envelope.destination,
-                        event_id=envelope.message.event.event_id,
-                        depth=envelope.message.depth,
-                    )
-            for envelope in survivors:
-                receiver = self._nodes.get(envelope.destination)
-                if receiver is None or not receiver.alive:
-                    continue
-                freshly_delivered = (
-                    self._obs.enabled
-                    and not receiver.has_delivered(envelope.message.event)
-                )
-                receiver.receive(envelope.message, self._ctx)
-                self._m_receptions.inc()
-                if self._obs.tracing:
-                    self._obs.emit(
-                        self._round,
-                        "receive",
-                        envelope.destination,
-                        peer=envelope.message.sender,
-                        event_id=envelope.message.event.event_id,
-                        depth=envelope.message.depth,
-                    )
-                if freshly_delivered and receiver.has_delivered(
-                    envelope.message.event
-                ):
-                    self._m_deliveries.inc()
-                    self._obs.emit(
-                        self._round,
-                        "deliver",
-                        envelope.destination,
-                        event_id=envelope.message.event.event_id,
-                    )
-                if not receiver.is_idle:
-                    self._active.add(envelope.destination)
-                self._record_contact(
-                    envelope.destination, envelope.message.sender
-                )
-                if self._piggyback_membership:
-                    sender_replica = self._replicas.get(envelope.message.sender)
-                    receiver_replica = self._replicas.get(envelope.destination)
-                    if sender_replica is not None and receiver_replica is not None:
-                        exchange(receiver_replica, sender_replica, self._reg)
+            self._exchange_round(envelopes)
         with (
             timeline.span("membership", "runtime", self._round)
             if timeline is not None
@@ -531,6 +456,102 @@ class GroupRuntime:
         ):
             self._membership_round()
             self._detection_round()
+
+    def _fan_out_round(self) -> List[Envelope]:
+        """Collect this round's gossip envelopes from every live node.
+
+        With active scheduling only buffered nodes are visited (in
+        their stable join order, so the shared gossip RNG sees the same
+        sender sequence either way); idle nodes drop off the set.
+        """
+        envelopes: List[Envelope] = []
+        if self._active_scheduling:
+            for address in sorted(
+                self._active, key=self._node_seq.__getitem__
+            ):
+                node = self._nodes[address]
+                if not node.alive or address not in self._tree:
+                    continue
+                envelopes.extend(node.gossip_step(self._ctx))
+                if node.is_idle:
+                    self._active.discard(address)
+        else:
+            for address, node in self._nodes.items():
+                if node.alive and address in self._tree:
+                    envelopes.extend(node.gossip_step(self._ctx))
+                    if node.is_idle:
+                        self._active.discard(address)
+        return envelopes
+
+    def _exchange_round(self, envelopes: List[Envelope]) -> None:
+        """Transmit the round's envelopes and apply every arrival."""
+        if self._injector is None:
+            survivors = self._network.transmit(envelopes)
+        else:
+            survivors = self._injector.transmit(
+                self._round - 1, envelopes, self._network
+            )
+        self._m_sent.inc(len(envelopes))
+        # Released (delayed) envelopes can make survivors exceed this
+        # round's sends; injected losses are in the "faults" collector.
+        self._m_lost.inc(max(len(envelopes) - len(survivors), 0))
+        if self._obs.tracing and envelopes:
+            arrived = {id(envelope) for envelope in survivors}
+            diverted = (
+                self._injector.last_diverted
+                if self._injector is not None
+                else frozenset()
+            )
+            for envelope in envelopes:
+                if id(envelope) in diverted:
+                    continue
+                self._obs.emit(
+                    self._round,
+                    "send" if id(envelope) in arrived else "loss",
+                    envelope.message.sender,
+                    peer=envelope.destination,
+                    event_id=envelope.message.event.event_id,
+                    depth=envelope.message.depth,
+                )
+        for envelope in survivors:
+            receiver = self._nodes.get(envelope.destination)
+            if receiver is None or not receiver.alive:
+                continue
+            freshly_delivered = (
+                self._obs.enabled
+                and not receiver.has_delivered(envelope.message.event)
+            )
+            receiver.receive(envelope.message, self._ctx)
+            self._m_receptions.inc()
+            if self._obs.tracing:
+                self._obs.emit(
+                    self._round,
+                    "receive",
+                    envelope.destination,
+                    peer=envelope.message.sender,
+                    event_id=envelope.message.event.event_id,
+                    depth=envelope.message.depth,
+                )
+            if freshly_delivered and receiver.has_delivered(
+                envelope.message.event
+            ):
+                self._m_deliveries.inc()
+                self._obs.emit(
+                    self._round,
+                    "deliver",
+                    envelope.destination,
+                    event_id=envelope.message.event.event_id,
+                )
+            if not receiver.is_idle:
+                self._active.add(envelope.destination)
+            self._record_contact(
+                envelope.destination, envelope.message.sender
+            )
+            if self._piggyback_membership:
+                sender_replica = self._replicas.get(envelope.message.sender)
+                receiver_replica = self._replicas.get(envelope.destination)
+                if sender_replica is not None and receiver_replica is not None:
+                    exchange(receiver_replica, sender_replica, self._reg)
 
     def run(self, rounds: int) -> None:
         """Execute several rounds."""

@@ -55,6 +55,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "bands."
         ),
     )
+    # No argparse `choices` here: an empty nargs="*" default trips the
+    # choice validation on some argparse versions, and run_conformance
+    # already rejects unknown names with the clean exit-2 error path.
+    parser.add_argument(
+        "suites",
+        nargs="*",
+        metavar="suite",
+        help="suites to run, e.g. 'variants' (positional form of "
+        "--suite; default: all)",
+    )
     parser.add_argument(
         "--suite",
         action="append",
@@ -99,9 +109,12 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    # Positional suites and repeated --suite flags merge (preserving
+    # SUITES execution order; run_conformance ignores duplicates).
+    chosen = list(args.suites) + list(args.suite or [])
     try:
         report = run_conformance(
-            suites=args.suite,
+            suites=chosen or None,
             trials=args.trials,
             seed=args.seed,
             quick=args.quick,

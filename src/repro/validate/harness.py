@@ -32,7 +32,13 @@ Five suites cover the acceptance surface:
 * ``faults`` — deterministic executable oracles for the fault plane
   (a partition yields zero cross-traffic, crashing all delegates
   strands the subtree, a total blackout stops dissemination, a
-  delay-only plan still delivers everything).
+  delay-only plan still delivers everything);
+* ``variants`` — the dissemination-variant ablations
+  (:mod:`repro.variants`) against their *paired* pure-push baseline on
+  the same trial seed: lazy push-then-pull must match push's delivery
+  within a calibrated band while spending strictly fewer messages, and
+  bounded-view false reception must be monotone in the view size, with
+  the largest view approaching the global-view baseline.
 
 Every trial derives its own seed from the master seed, so a report is
 bit-reproducible; ``python -m repro.validate`` wraps this module as a
@@ -78,7 +84,7 @@ __all__ = [
 REPORT_SCHEMA = "repro.validate/v1"
 
 #: The suites, in execution order.
-SUITES = ("flat", "rounds", "tree", "scale", "faults")
+SUITES = ("flat", "rounds", "tree", "scale", "faults", "variants")
 
 #: The (ε, τ) grid every statistical suite sweeps (≥ 3 settings).
 DEFAULT_SETTINGS: Tuple[Tuple[float, float], ...] = (
@@ -662,6 +668,181 @@ def _run_scale_suite(
     return checks
 
 
+# -- the variants suite (ablations vs their paired push baseline) --------
+
+#: Bounded partial-view sizes swept per trial, ascending.
+VARIANT_VIEW_SIZES = (4, 8, 16)
+
+# Calibrated variant bands (docs/VALIDATION.md §variants for the
+# measured deviations).  The "prediction" of each check is the paired
+# pure-push statistic of the same trial seed, so the bands absorb only
+# the algorithmic gap, not seed noise.
+VARIANT_DELIVERY_BAND = ToleranceBand(lower=0.06, upper=0.06)
+# lazy messages / push messages: must stay strictly under parity
+# (window [0.05, 0.90] around the 0.60 prediction — measured ratios
+# sit at 0.17-0.21 across the grid).
+VARIANT_COST_BAND = ToleranceBand(lower=0.55, upper=0.30, ci_z=0.0)
+# min adjacent delta of mean false reception across ascending view
+# sizes: monotone up to a small sampling slack.
+VARIANT_MONOTONE_BAND = ToleranceBand(lower=0.04, upper=1.0, ci_z=0.0)
+VARIANT_BOUNDED_DELIVERY_BAND = ToleranceBand(lower=0.10, upper=0.06)
+
+
+def _variant_trial(task: Tuple) -> List[float]:
+    """One variants-suite trial: the paired statistics of one seed.
+
+    Runs pure push, lazy push-then-pull and the bounded-view ablation
+    at each :data:`VARIANT_VIEW_SIZES` over the *same* trial seed —
+    each entry point re-derives the flat baseline's RNG streams from
+    it, so push and lazy share the identical crash schedule and network
+    stream and the comparison is paired, not just seeded.
+
+    Returns ``[push_delivery, push_messages, lazy_delivery,
+    lazy_messages] + [delivery, false_reception] * len(view_sizes)``.
+    """
+    from repro.baselines.flat import flat_gossip_broadcast
+    from repro.variants.bounded_view import bounded_view_broadcast
+    from repro.variants.lazy_pull import lazy_pull_broadcast
+
+    eps, tau, trial, seed, arity, depth, fanout, p_d = task
+    trial_seed = derive_seed(seed, ("variants", eps, tau), trial)
+    space = AddressSpace.regular(arity, depth)
+    addresses = sorted(space.enumerate_regular(arity))
+    members = bernoulli_interests(
+        addresses, p_d, derive_rng(trial_seed, "interests")
+    )
+    event = Event({}, event_id=1)
+    publisher = addresses[0]
+    sim = SimConfig(
+        seed=trial_seed, loss_probability=eps, crash_fraction=tau
+    )
+    push = flat_gossip_broadcast(
+        members, publisher, event, fanout, sim_config=sim
+    )
+    lazy = lazy_pull_broadcast(
+        members,
+        publisher,
+        event,
+        fanout,
+        sim_config=sim,
+        infection_threshold=0.5,
+        pull_fanout=2,
+        retry_budget=8,
+    )
+    out = [
+        push.delivery_ratio,
+        float(push.messages_sent),
+        lazy.delivery_ratio,
+        float(lazy.messages_sent),
+    ]
+    for view_size in VARIANT_VIEW_SIZES:
+        bounded = bounded_view_broadcast(
+            members,
+            publisher,
+            event,
+            fanout,
+            sim_config=sim,
+            view_size=view_size,
+            shuffle_size=2,
+        )
+        out.append(bounded.delivery_ratio)
+        out.append(bounded.false_reception_ratio)
+    worker_registry().counter("validate.variants", "trials").inc()
+    return out
+
+
+def _run_variants_suite(
+    settings: Sequence[Tuple[float, float]],
+    trials: int,
+    seed: int,
+    executor: TrialExecutor,
+) -> List[CheckResult]:
+    arity, depth, fanout, p_d = 5, 3, 3, 0.3
+    tasks = [
+        (eps, tau, trial, seed, arity, depth, fanout, p_d)
+        for eps, tau in settings
+        for trial in range(trials)
+    ]
+    outcomes = executor.run(_variant_trial, tasks)
+    checks: List[CheckResult] = []
+    lazy_eq = oracles.EQUATIONS["variant_lazy_pull"]
+    bounded_eq = oracles.EQUATIONS["variant_bounded_view"]
+    for offset, (eps, tau) in enumerate(settings):
+        rows = outcomes[offset * trials:(offset + 1) * trials]
+        params = {
+            "n": arity ** depth,
+            "fanout": fanout,
+            "matching_rate": p_d,
+            "eps": eps,
+            "tau": tau,
+        }
+        # 1. Lazy delivery tracks its paired push run.  The statistic
+        #    is the per-trial difference, so the prediction is 0.
+        checks.append(
+            _check(
+                "variants",
+                f"lazy_delivery_gap[eps={eps},tau={tau}]",
+                lazy_eq,
+                0.0,
+                [row[2] - row[0] for row in rows],
+                VARIANT_DELIVERY_BAND,
+                params,
+            )
+        )
+        # 2. ... while spending strictly fewer messages: the per-trial
+        #    lazy/push message ratio must sit well below parity.
+        checks.append(
+            _check(
+                "variants",
+                f"lazy_cost_ratio[eps={eps},tau={tau}]",
+                lazy_eq,
+                0.60,
+                [row[3] / max(row[1], 1.0) for row in rows],
+                VARIANT_COST_BAND,
+                params,
+            )
+        )
+        # 3. Bounded-view false reception is monotone in view size: a
+        #    bigger partial view behaves more like the global one, so
+        #    flood leakage may only grow.  The statistic is the minimum
+        #    adjacent delta of the per-size means (>= -slack).
+        false_means = [
+            sum(row[5 + 2 * index] for row in rows) / len(rows)
+            for index in range(len(VARIANT_VIEW_SIZES))
+        ]
+        min_delta = min(
+            false_means[index + 1] - false_means[index]
+            for index in range(len(false_means) - 1)
+        )
+        monotone_params = dict(params, view_sizes=list(VARIANT_VIEW_SIZES))
+        checks.append(
+            _check(
+                "variants",
+                f"bounded_false_monotone[eps={eps},tau={tau}]",
+                bounded_eq,
+                0.0,
+                [min_delta],
+                VARIANT_MONOTONE_BAND,
+                monotone_params,
+            )
+        )
+        # 4. The largest bounded view approaches the global-view push
+        #    baseline's delivery (paired per-trial difference again).
+        last = 4 + 2 * (len(VARIANT_VIEW_SIZES) - 1)
+        checks.append(
+            _check(
+                "variants",
+                f"bounded_delivery_gap[eps={eps},tau={tau}]",
+                bounded_eq,
+                0.0,
+                [row[last] - row[0] for row in rows],
+                VARIANT_BOUNDED_DELIVERY_BAND,
+                dict(params, view_size=VARIANT_VIEW_SIZES[-1]),
+            )
+        )
+    return checks
+
+
 # -- the faults suite (deterministic oracles) ----------------------------
 
 
@@ -764,6 +945,7 @@ _TRIALS = {
     "rounds": (30, 10),
     "tree": (25, 8),
     "scale": (3, 3),
+    "variants": (12, 6),
 }
 
 
@@ -843,6 +1025,10 @@ def run_conformance(
             elif suite == "scale":
                 checks.extend(
                     _run_scale_suite(grid, count, seed, executor, quick)
+                )
+            elif suite == "variants":
+                checks.extend(
+                    _run_variants_suite(grid, count, seed, executor)
                 )
     finally:
         if owns_executor:

@@ -46,6 +46,11 @@ EQUATIONS = {
     "tree_delivery": "Eqs 12-18",
     "tree_false_reception": "Eqs 16-17",
     "fault_plane": "deterministic",
+    # The dissemination-variant ablations have no closed-form oracle in
+    # the paper; their conformance bands compare against the paired pure
+    # push baseline run on the same seed (docs/VALIDATION.md §variants).
+    "variant_lazy_pull": "paired vs push",
+    "variant_bounded_view": "paired vs push",
 }
 
 

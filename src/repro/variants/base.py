@@ -1,0 +1,330 @@
+"""The dissemination-variant strategy seam and its shared round driver.
+
+The scalar engine loop (:func:`repro.sim.engine.run_dissemination`),
+the flat baselines (:mod:`repro.baselines.flat`) and the new
+dissemination variants (:mod:`repro.variants.lazy_pull`,
+:mod:`repro.variants.bounded_view`) all share one round skeleton:
+
+1. crash the processes scheduled for this round,
+2. **fan out**: every live process with something to say emits its
+   envelopes for the round,
+3. **exchange**: the lossy network (or the fault injector wrapping it)
+   drops each envelope independently, survivors are received.
+
+What differs between algorithms is *only* who sends to whom and what a
+reception does — the :class:`DisseminationVariant` interface.  The
+driver below (:func:`run_variant`) owns everything else: the round
+loop, crash application, the network/injector hand-off, distance
+accounting, the ``repro.obs.trace/v1`` disposition records, timeline
+spans and the infection curve.  The engine's historical behavior is a
+*contract*, not a casualty, of this extraction: running the pmcast
+strategy (:class:`repro.variants.pmcast.PmcastVariant`) through this
+driver is bit-identical — same RNG draws, same trace records, same
+report — to the pre-extraction loop, and the golden-seed suites pin
+that.
+
+Determinism rules every strategy must follow (docs/VARIANTS.md):
+
+* iterate insertion-ordered dicts or sorted lists, never sets — set
+  order depends on ``PYTHONHASHSEED`` through ``Address.__hash__``;
+* all randomness comes from RNG streams derived with
+  :func:`repro.sim.rng.derive_rng` labels owned by the variant;
+* randomness is consumed in a schedule-independent order (fan-out in
+  active order, receptions in envelope order).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.addressing import Address, distance
+from repro.config import SimConfig
+from repro.obs.sampling import SampledTrace, TraceSampler
+from repro.obs.timeline import NULL_SPAN, TimelineRecorder
+from repro.sim.crashes import CrashSchedule
+from repro.sim.metrics import DisseminationReport
+from repro.sim.network import LossyNetwork
+from repro.sim.trace import TraceLog
+
+__all__ = [
+    "CONTROL_KINDS",
+    "DisseminationVariant",
+    "VariantEnvelope",
+    "VariantMessage",
+    "run_variant",
+]
+
+Emit = Callable[..., None]
+
+#: The control-plane trace kinds variants may emit (one disposition
+#: record per control envelope; ``value`` is 1 when it arrived, 0 when
+#: the network dropped it).  Payload envelopes use the engine's
+#: ``send``/``loss`` + ``receive``/``deliver`` vocabulary instead.
+CONTROL_KINDS = ("pull_request", "pull_reply", "view_shuffle")
+
+#: The payload marker of :class:`VariantMessage.kind`.
+PAYLOAD = "payload"
+
+
+class VariantMessage:
+    """A gossip message of a non-tree variant.
+
+    Mirrors the duck type :meth:`LossyNetwork.transmit` relies on
+    (``message.sender``) and the trace emission relies on
+    (``message.event.event_id`` / ``message.depth``), so variant
+    envelopes travel through the exact same network and fault plane as
+    pmcast envelopes.
+
+    Attributes:
+        sender: the emitting process.
+        kind: ``"payload"`` or one of :data:`CONTROL_KINDS`.
+        event: the event being disseminated (control messages carry it
+            too: a ``pull_reply`` *is* the event in flight).
+        depth: tree depth for pmcast-style accounting; ``None`` for the
+            flat variants (their traffic has no subtree scope).
+        view: an optional membership sample piggybacked on the message
+            (the bounded-view shuffle payload).
+    """
+
+    __slots__ = ("sender", "kind", "event", "depth", "view")
+
+    def __init__(self, sender, kind, event, depth=None, view=None):
+        self.sender = sender
+        self.kind = kind
+        self.event = event
+        self.depth = depth
+        self.view = view
+
+
+class VariantEnvelope:
+    """One addressed :class:`VariantMessage` (network transfer unit)."""
+
+    __slots__ = ("destination", "message")
+
+    def __init__(self, destination, message):
+        self.destination = destination
+        self.message = message
+
+
+class DisseminationVariant(ABC):
+    """One dissemination strategy, pluggable into :func:`run_variant`.
+
+    A variant owns the *who-talks-to-whom* state of a single run (it is
+    single-use): the infected set, per-process send budgets, partial
+    views, pending pulls.  The driver owns the round structure and
+    everything observable around it.  Subclasses fill in the abstract
+    hooks; the three class attributes label the run's observability:
+
+    * ``name`` — short identifier (bench tables, docs);
+    * ``producer`` — the trace's ``meta["producer"]``;
+    * ``subsystem`` — the timeline span subsystem.
+    """
+
+    name: str = "variant"
+    producer: str = "repro.variants"
+    subsystem: str = "variants"
+
+    @property
+    @abstractmethod
+    def depth(self) -> int:
+        """Length of the report's ``messages_by_distance`` histogram."""
+
+    @abstractmethod
+    def trace_meta(self) -> Dict[str, Any]:
+        """The run metadata annotated onto the trace before round 0.
+
+        Must carry whatever ``python -m repro.obs summarize`` needs to
+        reproduce the report's ratios (publisher, interested ground
+        truth, seed) — see the engine's annotation for the contract.
+        """
+
+    @abstractmethod
+    def begin(self, emit: Optional[Emit]) -> None:
+        """Seed the publisher (round 0) and emit its publish/deliver."""
+
+    @abstractmethod
+    def crash(self, victim: Address) -> bool:
+        """Apply one crash; True when the victim was alive (emit it)."""
+
+    @abstractmethod
+    def is_active(self) -> bool:
+        """True while some process still has protocol work pending."""
+
+    @abstractmethod
+    def fan_out(self, rounds: int) -> List[Any]:
+        """The round's envelopes, in deterministic sender order."""
+
+    @abstractmethod
+    def receive(
+        self, envelope: Any, emit: Optional[Emit], rounds: int
+    ) -> None:
+        """Apply one delivered envelope (and emit receive/deliver)."""
+
+    @abstractmethod
+    def infected_count(self) -> int:
+        """Processes holding the event (the infection-curve sample)."""
+
+    @abstractmethod
+    def finalize(
+        self,
+        rounds: int,
+        infection_curve: Tuple[int, ...],
+        messages_by_distance: Tuple[int, ...],
+        network: LossyNetwork,
+        crash_schedule: CrashSchedule,
+        injector: Optional[Any],
+    ) -> DisseminationReport:
+        """Assemble the run's :class:`DisseminationReport`."""
+
+    def emit_dispositions(
+        self,
+        envelopes: Sequence[Any],
+        arrived: frozenset,
+        diverted: frozenset,
+        emit: Emit,
+        rounds: int,
+    ) -> None:
+        """One transport-disposition record per envelope per round.
+
+        The default is the engine's convention: ``send`` when the
+        network delivered the envelope, ``loss`` when it dropped it,
+        nothing when the fault injector diverted it (the injector
+        emitted its own ``fault_*`` record).  Variants with control
+        traffic override this to emit the :data:`CONTROL_KINDS`.
+        """
+        for envelope in envelopes:
+            if id(envelope) in diverted:
+                continue
+            kind = "send" if id(envelope) in arrived else "loss"
+            emit(
+                rounds,
+                kind,
+                envelope.message.sender,
+                peer=envelope.destination,
+                event_id=envelope.message.event.event_id,
+                depth=envelope.message.depth,
+            )
+
+
+def run_variant(
+    variant: DisseminationVariant,
+    sim_config: SimConfig,
+    network: LossyNetwork,
+    crash_schedule: CrashSchedule,
+    trace: Optional[TraceLog] = None,
+    sampler: Optional[TraceSampler] = None,
+    injector: Optional[Any] = None,
+    timeline: Optional[TimelineRecorder] = None,
+) -> DisseminationReport:
+    """Drive one dissemination strategy through the shared round loop.
+
+    The round skeleton — crash step, ``fan_out`` span, ``exchange``
+    span (network or injector), infection curve, trace dispositions —
+    is the engine's, verbatim; the strategy hooks plug into it.  The
+    caller prepares the RNG-bearing collaborators (network, crash
+    schedule, injector) so each variant keeps its own stream labels.
+
+    Args:
+        variant: the single-use strategy instance.
+        sim_config: supplies ``max_rounds`` (the safety cap).
+        network: the ε-loss network (its RNG stream belongs to the
+            caller's labeling scheme).
+        crash_schedule: the τ-model crash plan.
+        trace: optional ``repro.obs.trace/v1`` log.
+        sampler: optional trace sampler (fault records are never
+            sampled; they are emitted by the injector directly).
+        injector: optional :class:`repro.faults.injector.FaultInjector`
+            already wired with its emit callback.
+        timeline: optional wall-clock recorder receiving per-round
+            ``fan_out``/``exchange`` spans under ``variant.subsystem``.
+
+    Returns:
+        the variant's :class:`~repro.sim.metrics.DisseminationReport`.
+    """
+    emit: Optional[Emit] = None
+    if trace is not None:
+        emit = (
+            trace.record
+            if sampler is None
+            else SampledTrace(trace, sampler).record
+        )
+        trace.annotate(**variant.trace_meta())
+        if injector is not None:
+            trace.annotate(fault_plan=injector.plan.to_dict())
+    variant.begin(emit)
+
+    infection_curve: List[int] = []
+    messages_by_distance = [0] * variant.depth
+    rounds = 0
+    for round_index in range(sim_config.max_rounds):
+        victims = crash_schedule.crashes_at(round_index)
+        if injector is not None:
+            injector.begin_round(round_index)
+            scheduled = set(victims)
+            victims = victims + [
+                victim
+                for victim in injector.crashes_at(round_index)
+                if victim not in scheduled
+            ]
+        for victim in victims:
+            if variant.crash(victim) and emit is not None:
+                emit(round_index + 1, "crash", victim)
+        if not variant.is_active() and (
+            injector is None or not injector.has_pending
+        ):
+            break
+        rounds = round_index + 1
+
+        with (
+            timeline.span("fan_out", variant.subsystem, rounds)
+            if timeline is not None
+            else NULL_SPAN
+        ):
+            envelopes = variant.fan_out(rounds)
+            for envelope in envelopes:
+                hops = distance(envelope.message.sender, envelope.destination)
+                messages_by_distance[max(hops, 1) - 1] += 1
+
+        with (
+            timeline.span("exchange", variant.subsystem, rounds)
+            if timeline is not None
+            else NULL_SPAN
+        ):
+            if injector is None:
+                delivered_envelopes = network.transmit(envelopes)
+            else:
+                delivered_envelopes = injector.transmit(
+                    round_index, envelopes, network
+                )
+            if emit is not None:
+                arrived = frozenset(
+                    id(envelope) for envelope in delivered_envelopes
+                )
+                diverted = (
+                    injector.last_diverted
+                    if injector is not None
+                    else frozenset()
+                )
+                variant.emit_dispositions(
+                    envelopes, arrived, diverted, emit, rounds
+                )
+            for envelope in delivered_envelopes:
+                variant.receive(envelope, emit, rounds)
+
+        infection_curve.append(variant.infected_count())
+
+    if timeline is not None:
+        timeline.probe_memory(subsystem=variant.subsystem, round_index=rounds)
+    if trace is not None:
+        trace.annotate(rounds=rounds)
+        if injector is not None:
+            trace.annotate(fault_stats=injector.stats())
+    return variant.finalize(
+        rounds,
+        tuple(infection_curve),
+        tuple(messages_by_distance),
+        network,
+        crash_schedule,
+        injector,
+    )

@@ -1,0 +1,211 @@
+"""The paper's pmcast dissemination as a :class:`DisseminationVariant`.
+
+This is the engine's historical scalar loop, re-expressed against the
+strategy seam of :mod:`repro.variants.base`.  It is an *exact* port:
+the active set stays an insertion-ordered dict (gossip order feeds the
+shared RNG; set order would leak ``PYTHONHASHSEED``), receptions apply
+in envelope order, and the trace vocabulary (``publish``/``send``/
+``loss``/``receive``/``deliver``/``crash``) is unchanged — so a run
+through :func:`repro.variants.base.run_variant` is bit-identical to
+the pre-extraction engine, which the golden-seed suites pin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.addressing import Address
+from repro.config import SimConfig
+from repro.core.context import GossipContext
+from repro.core.messages import Envelope
+from repro.core.node import PmcastNode
+from repro.interests.events import Event
+from repro.sim.crashes import CrashSchedule
+from repro.sim.group import PmcastGroup
+from repro.sim.metrics import DisseminationReport
+from repro.sim.network import LossyNetwork
+from repro.variants.base import DisseminationVariant, Emit
+
+__all__ = ["PmcastVariant"]
+
+
+class PmcastVariant(DisseminationVariant):
+    """Tree-structured gossip over a wired :class:`PmcastGroup`.
+
+    The variant borrows the group's node state for the duration of one
+    run (like the engine always has); ``finalize`` reads the outcome
+    back out of the nodes, so the report is a pure function of the
+    group after the last round.
+    """
+
+    name = "pmcast"
+    producer = "repro.sim.engine"
+    subsystem = "engine"
+
+    def __init__(
+        self,
+        group: PmcastGroup,
+        publisher: Address,
+        event: Event,
+        ctx: GossipContext,
+        sim_config: SimConfig,
+    ) -> None:
+        self.group = group
+        self.publisher = publisher
+        self.event = event
+        self.ctx = ctx
+        self.seed = sim_config.seed
+        self.origin = group.node(publisher)
+        # Ground truth for the metrics, before anybody crashes.
+        self.interested = set(group.interested_members(event))
+        self.sent_before = sum(
+            node.messages_sent for node in group.nodes()
+        )
+        self.receptions_before = sum(
+            node.receptions for node in group.nodes()
+        )
+        # Insertion-ordered on purpose (see module docstring).
+        self.active: Dict[Address, PmcastNode] = {publisher: self.origin}
+        self.infected = {publisher}
+
+    @property
+    def depth(self) -> int:
+        return self.group.tree.depth
+
+    def trace_meta(self) -> Dict[str, Any]:
+        interested = self.interested
+        return {
+            "producer": self.producer,
+            "publisher": str(self.publisher),
+            "event_id": self.event.event_id,
+            "group_size": self.group.size,
+            "interested": sorted(str(address) for address in interested),
+            "interested_count": len(interested),
+            "uninterested_count": self.group.size
+            - len(interested)
+            - (0 if self.publisher in interested else 1),
+            "publisher_interested": self.publisher in interested,
+            "seed": self.seed,
+        }
+
+    def begin(self, emit: Optional[Emit]) -> None:
+        self.origin.pmcast(self.event, self.ctx)
+        if emit is not None:
+            emit(0, "publish", self.publisher, event_id=self.event.event_id)
+            if self.origin.has_delivered(self.event):
+                emit(
+                    0, "deliver", self.publisher,
+                    event_id=self.event.event_id,
+                )
+
+    def crash(self, victim: Address) -> bool:
+        node = self.group.node(victim)
+        if not node.alive:
+            return False
+        node.alive = False
+        self.active.pop(victim, None)
+        return True
+
+    def is_active(self) -> bool:
+        return bool(self.active)
+
+    def fan_out(self, rounds: int) -> List[Envelope]:
+        envelopes: List[Envelope] = []
+        idle: List[Address] = []
+        for address, node in self.active.items():
+            envelopes.extend(node.gossip_step(self.ctx))
+            if node.is_idle:
+                idle.append(address)
+        for address in idle:
+            del self.active[address]
+        return envelopes
+
+    def receive(
+        self, envelope: Envelope, emit: Optional[Emit], rounds: int
+    ) -> None:
+        receiver = self.group.node(envelope.destination)
+        freshly_delivered = (
+            emit is not None
+            and not receiver.has_delivered(envelope.message.event)
+        )
+        receiver.receive(envelope.message, self.ctx)
+        # A crashed process performs no protocol action, so it gets no
+        # receive record — the sender-side send record already
+        # documents the dead-letter envelope.
+        if emit is not None and receiver.alive:
+            emit(
+                rounds,
+                "receive",
+                envelope.destination,
+                peer=envelope.message.sender,
+                event_id=envelope.message.event.event_id,
+                depth=envelope.message.depth,
+            )
+            if freshly_delivered and receiver.has_delivered(
+                envelope.message.event
+            ):
+                emit(
+                    rounds,
+                    "deliver",
+                    envelope.destination,
+                    event_id=envelope.message.event.event_id,
+                )
+        if receiver.alive:
+            self.infected.add(envelope.destination)
+            if not receiver.is_idle:
+                self.active[envelope.destination] = receiver
+
+    def infected_count(self) -> int:
+        return len(self.infected)
+
+    def finalize(
+        self,
+        rounds: int,
+        infection_curve: Tuple[int, ...],
+        messages_by_distance: Tuple[int, ...],
+        network: LossyNetwork,
+        crash_schedule: CrashSchedule,
+        injector: Optional[Any],
+    ) -> DisseminationReport:
+        group, event = self.group, self.event
+        delivered_interested = sum(
+            1
+            for address in self.interested
+            if group.node(address).has_delivered(event)
+        )
+        uninterested = [
+            address
+            for address in group.addresses()
+            if address not in self.interested and address != self.publisher
+        ]
+        received_uninterested = sum(
+            1
+            for address in uninterested
+            if group.node(address).has_received(event)
+        )
+        received_total = len(self.infected)
+        messages_sent = (
+            sum(node.messages_sent for node in group.nodes())
+            - self.sent_before
+        )
+        receptions = (
+            sum(node.receptions for node in group.nodes())
+            - self.receptions_before
+        )
+        first_receptions = received_total - 1  # the publisher never receives
+        return DisseminationReport(
+            group_size=group.size,
+            interested=len(self.interested),
+            uninterested=len(uninterested),
+            delivered_interested=delivered_interested,
+            received_uninterested=received_uninterested,
+            received_total=received_total,
+            crashed=crash_schedule.victim_count
+            + (0 if injector is None else injector.stats()["targeted_crashes"]),
+            rounds=rounds,
+            messages_sent=messages_sent,
+            messages_lost=network.messages_lost,
+            duplicate_receptions=max(receptions - first_receptions, 0),
+            infection_curve=infection_curve,
+            messages_by_distance=messages_by_distance,
+        )

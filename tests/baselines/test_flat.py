@@ -98,3 +98,57 @@ class TestGenuineMulticast:
         assert report.delivery_ratio < 1.0   # victims cannot deliver
         # But the bulk of survivors still deliver.
         assert report.delivered_interested > 0.9 * (len(addresses) - 4)
+
+
+class TestMessageCostAccounting:
+    """Per-delivered-event message cost — the §1 comparison axis the
+    baselines exist for, previously computed ad hoc in the bench code
+    and asserted nowhere."""
+
+    def test_flood_cost_per_delivery_pinned(self):
+        members = make_members(rate=0.3)
+        publisher = sorted(members)[0]
+        report = flat_gossip_broadcast(
+            members, publisher, Event({}, event_id=700), 3,
+            SimConfig(seed=8),
+        )
+        # The defining flood economics: every delivery is paid for by
+        # messages to the ~70% uninterested majority as well.
+        assert report.cost_per_delivery == pytest.approx(
+            report.messages_sent / report.delivered_interested
+        )
+        assert report.cost_per_delivery > 1.0 / 0.3
+        # Pure push sends no control traffic, so the cost is all
+        # payload (the variant comparisons rely on this split).
+        assert report.control_messages == 0
+        assert report.control_fraction == 0.0
+
+    def test_genuine_cheaper_per_delivery_at_low_rates(self):
+        members = make_members(rate=0.1, seed=9)
+        publisher = sorted(members)[0]
+        event = Event({}, event_id=701)
+        flood = flat_gossip_broadcast(
+            members, publisher, event, 3, SimConfig(seed=10)
+        )
+        genuine = flat_genuine_multicast(
+            members, publisher, event, 3, SimConfig(seed=10)
+        )
+        assert genuine.cost_per_delivery < flood.cost_per_delivery
+
+    def test_summary_exposes_cost(self):
+        from repro.sim import summarize_reports
+
+        members = make_members(rate=0.5)
+        publisher = sorted(members)[0]
+        reports = [
+            flat_gossip_broadcast(
+                members, publisher, Event({}, event_id=702), 3,
+                SimConfig(seed=seed),
+            )
+            for seed in (11, 12)
+        ]
+        summary = summarize_reports(reports)
+        assert summary["cost_per_delivery"].mean == pytest.approx(
+            sum(r.cost_per_delivery for r in reports) / 2
+        )
+        assert summary["control_messages"].mean == 0.0

@@ -32,6 +32,10 @@ GOLDEN_QUICK = {
     "churn_refresh": "4a78d816d5c0657e7c683312b54f543bd9e59bc4",
     "match_cache": "c5e2263cb011949d4fbdc68e95ef16f428803ba9",
     "membership_plane": "d72868c8237a4600643077095adbe388fc27b3aa",
+    # PR 8: the variant-ablation sweep (pmcast vs flat push vs lazy
+    # pull vs bounded view over the (eps, tau) grid); must equal the
+    # entry committed in benchmarks/data/BENCH_CI_BASELINE.json.
+    "variant_compare": "928b1b413447f5834c1e1012a17bf8937339e1f3",
 }
 
 _SUBPROCESS_SCRIPT = """\

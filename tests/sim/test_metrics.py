@@ -44,6 +44,28 @@ class TestDisseminationReport:
             report(received_uninterested=60)
         with pytest.raises(SimulationError):
             report(messages_lost=901)
+        with pytest.raises(SimulationError):
+            report(control_messages=901)
+
+    def test_cost_per_delivery(self):
+        r = report()
+        assert r.cost_per_delivery == pytest.approx(900 / 38)
+        # Missed deliveries are paid for: halving delivery doubles cost.
+        cheap = report(delivered_interested=38)
+        costly = report(delivered_interested=19)
+        assert costly.cost_per_delivery == pytest.approx(
+            2 * cheap.cost_per_delivery
+        )
+        # Degenerate: nothing delivered, cost is the raw message count.
+        r = report(delivered_interested=0)
+        assert r.cost_per_delivery == pytest.approx(900.0)
+
+    def test_control_fraction(self):
+        assert report().control_fraction == 0.0
+        r = report(control_messages=90)
+        assert r.control_fraction == pytest.approx(0.1)
+        r = report(messages_sent=0, messages_lost=0, control_messages=0)
+        assert r.control_fraction == 0.0
 
 
 class TestSummaries:
@@ -68,6 +90,8 @@ class TestSummaries:
             "rounds",
             "messages_sent",
             "network_overhead",
+            "cost_per_delivery",
+            "control_messages",
             "boundary_crossing_fraction",
             "duplicate_receptions",
             "messages_lost",

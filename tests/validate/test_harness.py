@@ -112,4 +112,6 @@ class TestRunConformance:
         assert report.to_dict() == again.to_dict()
 
     def test_suite_order_follows_registry(self):
-        assert SUITES == ("flat", "rounds", "tree", "scale", "faults")
+        assert SUITES == (
+            "flat", "rounds", "tree", "scale", "faults", "variants"
+        )
