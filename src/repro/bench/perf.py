@@ -877,6 +877,77 @@ def bench_variant_compare(
     }
 
 
+def bench_net_throughput(
+    arity: int, depth: int, seed: int, mode: str
+) -> Optional[Dict[str, Any]]:
+    """Sustained event rate of the live-UDP plane (``repro.net.udp``).
+
+    Disseminates one event through at least 1000 real UDP processes on
+    localhost (the suite scale is floored up to 10^3 when smaller) and
+    reports protocol events per wall-clock second — timer fires, sends
+    and drained receptions.  Opt-in (``--bench net_throughput``): it
+    binds a socket per member, which sandboxed builders may forbid.
+
+    Kernel scheduling makes UDP *outcomes* nondeterministic, so the
+    ``digest`` here covers the static scenario spec only — the regress
+    gate compares wall-clock seconds, and a digest flap would be pure
+    noise.
+    """
+    from repro.net.udp import run_udp_dissemination
+    from repro.sim.group import PmcastGroup
+
+    if mode == "legacy":
+        # One execution style only: there is no ablation switch for
+        # the deployment plane.
+        return None
+    if arity ** depth < 1000:
+        arity, depth = 10, 3
+    rate, fanout, redundancy, period_s = 0.25, 3, 3, 0.02
+    space = AddressSpace.regular(arity, depth)
+    addresses = space.enumerate_regular(arity)
+    members = bernoulli_interests(
+        addresses, rate, derive_rng(seed, "perf-interests")
+    )
+    config = PmcastConfig(fanout=fanout, redundancy=redundancy)
+    started = time.perf_counter()
+    group = PmcastGroup.build(members, config)
+    build_seconds = time.perf_counter() - started
+
+    report, stats = run_udp_dissemination(
+        group,
+        addresses[0],
+        Event({"perf": 1}, event_id=7),
+        seed=seed,
+        period_s=period_s,
+        hard_timeout_s=60.0,
+    )
+    return {
+        "members": len(addresses),
+        "build_seconds": round(build_seconds, 4),
+        "seconds": round(stats.elapsed_seconds, 4),
+        "completed": stats.completed,
+        "events": stats.events,
+        "events_per_sec": round(stats.events_per_sec, 1),
+        "timer_fires": stats.timer_fires,
+        "messages_sent": stats.messages_sent,
+        "receptions": stats.receptions,
+        "delivery_ratio": round(
+            report.delivered_interested / max(report.interested, 1), 4
+        ),
+        "digest": _sha1(
+            [
+                "net_throughput",
+                str(len(addresses)),
+                str(seed),
+                str(rate),
+                str(fanout),
+                str(redundancy),
+                str(period_s),
+            ]
+        ),
+    }
+
+
 _BENCHES = {
     "round_loop": bench_round_loop,
     "faulted_round_loop": bench_faulted_round_loop,
@@ -887,12 +958,15 @@ _BENCHES = {
     "sweep": bench_sweep,
     "scale_loop": bench_scale_loop,
     "variant_compare": bench_variant_compare,
+    "net_throughput": bench_net_throughput,
 }
 
 #: Benchmarks excluded from the default selection (opt in via --bench
 #: or the --faults shorthand): the faulted loop exists to be compared
-#: against round_loop, not to gate every run.
-_OPT_IN = ("faulted_round_loop",)
+#: against round_loop, not to gate every run, and the UDP throughput
+#: bench binds a thousand localhost sockets, which not every
+#: environment allows.
+_OPT_IN = ("faulted_round_loop", "net_throughput")
 
 
 def run_suite(

@@ -62,3 +62,8 @@ class ValidationError(ReproError):
 
 class ParallelError(ReproError):
     """The parallel trial executor was misused or a checkpoint is corrupt."""
+
+
+class NetError(ReproError):
+    """The network plane was misused: bad schedule, clock misuse,
+    unresolvable transport destination, or a runtime invariant broke."""

@@ -1,0 +1,118 @@
+"""One event-driven process: protocol logic behind a mailbox.
+
+The component layering of reliable-distributed-programming kernels:
+the protocol state machine (:class:`~repro.core.node.PmcastNode`, plus
+an optional :class:`~repro.membership.failure_detector.FailureDetector`)
+never touches a socket or a clock.  An :class:`AsyncProcess` wraps it
+with the two event-driven entry points every driver speaks:
+
+* :meth:`deliver` — the transport's receive callback appends an
+  envelope to the per-process mailbox (no protocol work on the I/O
+  path);
+* :meth:`on_timer` — a gossip-timer fire: drain the mailbox through
+  ``node.receive`` (feeding the failure detector's contact log), then
+  ``node.gossip_step`` and hand the fan-out to the transport.
+
+The class is sans-io on purpose: the UDP runtime (:mod:`repro.net.udp`)
+drives it from asyncio tasks, tests drive it directly, and the
+protocol logic stays byte-for-byte the code the round engine runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.addressing import Address
+from repro.core.context import GossipContext
+from repro.core.messages import Envelope
+from repro.core.node import PmcastNode
+from repro.membership.failure_detector import FailureDetector
+from repro.net.transport import Transport
+
+__all__ = ["AsyncProcess"]
+
+
+class AsyncProcess:
+    """A :class:`PmcastNode` driven by mailbox and timer events.
+
+    Args:
+        node: the protocol state machine (borrowed, like the engine
+            borrows group nodes for a run).
+        ctx: this process's gossip context — event-driven processes do
+            not share an RNG stream, each draws from its own.
+        transport: where :meth:`on_timer`'s fan-out goes.
+        detector: optional failure detector fed one
+            ``record_contact(sender, now)`` per drained envelope.
+    """
+
+    __slots__ = (
+        "node", "ctx", "transport", "detector", "mailbox",
+        "timer_fires", "drained",
+    )
+
+    def __init__(
+        self,
+        node: PmcastNode,
+        ctx: GossipContext,
+        transport: Transport,
+        detector: Optional[FailureDetector] = None,
+    ):
+        self.node = node
+        self.ctx = ctx
+        self.transport = transport
+        self.detector = detector
+        self.mailbox: Deque[Envelope] = deque()
+        self.timer_fires = 0
+        self.drained = 0
+
+    @property
+    def address(self) -> Address:
+        return self.node.address
+
+    @property
+    def has_work(self) -> bool:
+        """Whether a timer fire would do anything: pending receptions
+        or a non-empty gossip buffer."""
+        return bool(self.mailbox) or (self.node.alive and not self.node.is_idle)
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Transport receive callback: enqueue, never run protocol."""
+        self.mailbox.append(envelope)
+
+    def drain(self, now: int = 0) -> List[Envelope]:
+        """Apply every queued envelope, in arrival order.
+
+        Returns the drained envelopes so the driver can emit per-record
+        observability without re-decoding anything.
+        """
+        drained: List[Envelope] = []
+        while self.mailbox:
+            envelope = self.mailbox.popleft()
+            self.node.receive(envelope.message, self.ctx)
+            if self.detector is not None:
+                self.detector.record_contact(envelope.message.sender, now)
+            drained.append(envelope)
+        self.drained += len(drained)
+        return drained
+
+    def on_timer(self, now: int = 0) -> List[Envelope]:
+        """One gossip period: drain the mailbox, then fan out.
+
+        Returns the envelopes handed to the transport (possibly empty:
+        a crashed or idle process fires into the void).
+        """
+        self.timer_fires += 1
+        self.drain(now)
+        if not self.node.alive:
+            return []
+        envelopes = self.node.gossip_step(self.ctx)
+        for envelope in envelopes:
+            self.transport.send(envelope)
+        return envelopes
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncProcess({self.address}, mailbox={len(self.mailbox)}, "
+            f"fires={self.timer_fires})"
+        )

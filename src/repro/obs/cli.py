@@ -113,18 +113,26 @@ def summarize_trace(
     counts = log.counts()
 
     max_round = 0
+    event_records = 0
     timeline: Dict[int, Dict[str, int]] = {}
     publish_round: Dict[int, int] = {}
     publishers: Dict[int, str] = {}
-    deliveries: Dict[int, Dict[str, int]] = {}
+    deliveries: Dict[int, Dict[str, Optional[int]]] = {}
     receivers: Dict[int, set] = {}
     membership: List[Dict[str, Any]] = []
     for record in log:
-        max_round = max(max_round, record.round)
-        per_round = timeline.setdefault(record.round, {})
-        per_round[record.kind] = per_round.get(record.kind, 0) + 1
+        if record.round is None:
+            # Event-driven records carry time_us instead of a round:
+            # they contribute to kind counts and delivery/reception
+            # sets, but not to the per-round timeline.
+            event_records += 1
+        else:
+            max_round = max(max_round, record.round)
+            per_round = timeline.setdefault(record.round, {})
+            per_round[record.kind] = per_round.get(record.kind, 0) + 1
         if record.kind == "publish":
-            publish_round.setdefault(record.event_id, record.round)
+            if record.round is not None:
+                publish_round.setdefault(record.event_id, record.round)
             publishers.setdefault(record.event_id, str(record.process))
         elif record.kind == "deliver":
             deliveries.setdefault(record.event_id, {}).setdefault(
@@ -150,6 +158,8 @@ def summarize_trace(
     for event_id, per_process in deliveries.items():
         start = publish_round.get(event_id, 0)
         for delivered_round in per_process.values():
+            if delivered_round is None:
+                continue  # event-driven delivery: no round latency
             latency = delivered_round - start
             latencies.append(latency)
             for index, bound in enumerate(LATENCY_BOUNDS):
@@ -274,6 +284,8 @@ def summarize_trace(
         },
         "meta": meta,
     }
+    if event_records:
+        summary["event_records"] = event_records
     if isinstance(sampling, dict):
         summary["sampling"] = dict(sampling)
         if estimated:
@@ -332,6 +344,8 @@ def diff_traces(
     def sends_per_round(log: TraceLog) -> Dict[int, int]:
         out: Dict[int, int] = {}
         for record in log.filter(kind="send"):
+            if record.round is None:
+                continue  # event-driven send: counted in kind deltas only
             out[record.round] = out.get(record.round, 0) + 1
         return out
 

@@ -173,18 +173,19 @@ class SampledTrace:
 
     def record(
         self,
-        round: int,
+        round: Optional[int],
         kind: str,
         process: object,
         peer: Optional[object] = None,
         event_id: int = 0,
         depth: int = 0,
         value: int = 0,
+        time_us: Optional[int] = None,
     ) -> None:
         """Append one record iff its key survives the sampler."""
         if self.sampler.keep(kind, process, event_id):
             self.trace.record(
-                round, kind, process, peer, event_id, depth, value
+                round, kind, process, peer, event_id, depth, value, time_us
             )
 
     def annotate(self, **meta: object) -> None:

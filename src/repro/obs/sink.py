@@ -218,7 +218,12 @@ def validate_trace(path: str) -> Tuple[int, List[str]]:
                 _read_header(handle.readline(), path)
             except ObservabilityError as exc:
                 return 0, [str(exc)]
+            # Round-keyed and event-keyed records each have their own
+            # ordering domain (TraceRecord.order_key): rounds must be
+            # monotone among round-keyed records, timestamps among
+            # round-less ones.  A producer may interleave the two.
             last_round: Optional[int] = None
+            last_time: Optional[int] = None
             for number, line in enumerate(handle, start=2):
                 line = line.strip()
                 if not line:
@@ -232,12 +237,23 @@ def validate_trace(path: str) -> Tuple[int, List[str]]:
                     problems.append(f"line {number}: {exc}")
                     continue
                 count += 1
-                if last_round is not None and record.round < last_round:
-                    problems.append(
-                        f"line {number}: round {record.round} goes "
-                        f"backwards (after {last_round})"
-                    )
-                last_round = record.round
+                if record.round is not None:
+                    if last_round is not None and record.round < last_round:
+                        problems.append(
+                            f"line {number}: round {record.round} goes "
+                            f"backwards (after {last_round})"
+                        )
+                    last_round = record.round
+                else:
+                    if last_time is not None and (
+                        record.time_us is not None
+                        and record.time_us < last_time
+                    ):
+                        problems.append(
+                            f"line {number}: time_us {record.time_us} goes "
+                            f"backwards (after {last_time})"
+                        )
+                    last_time = record.time_us
     except OSError as exc:
         return 0, [f"cannot read {path}: {exc}"]
     return count, problems
@@ -270,7 +286,13 @@ def merge_traces(paths: Sequence[str], out: str) -> int:
 
     def keyed(index: int, path: str):
         for seq, record in enumerate(_iter_dicts(path)):
-            yield (int(record.get("round", 0)), index, seq), record
+            # Round-less event records (round null, time_us set) keep
+            # their shard-local position under round 0 rather than
+            # crashing the merge; shard kernels emit round-keyed
+            # records, so in practice this is a tolerance path.
+            round_value = record.get("round")
+            key = 0 if round_value is None else int(round_value)
+            yield (key, index, seq), record
 
     streams = [keyed(index, path) for index, path in enumerate(paths)]
     written = 0

@@ -22,12 +22,21 @@ One schema covers both planes of the system:
   view_shuffle``) from the :mod:`repro.variants` strategies — pull
   recovery traffic and lpbcast view shuffles, one record per control
   envelope (``value`` 1 = arrived, 0 = dropped by the network;
-  ``view_shuffle`` is receiver-side, ``value`` = entries merged).
+  ``view_shuffle`` is receiver-side, ``value`` = entries merged);
+* **event-plane** records (``recv | timer_fire``) from the
+  :mod:`repro.net` runtimes, where no global round exists.  These
+  records carry ``round = None`` and are ordered by ``time_us``, a
+  wall-clock (or virtual-clock) microsecond timestamp.  Any record
+  *may* carry ``time_us`` alongside its round; a record with
+  ``round = None`` *must*.
 
 Records serialize to single JSON objects (see :mod:`repro.obs.sink`),
 tagged :data:`TRACE_SCHEMA` so offline tooling can reject traces it
-does not understand.  The historical import path
-``repro.sim.trace`` re-exports this module unchanged.
+does not understand.  The ``time_us`` key and the event-plane kinds
+are additive within ``repro.obs.trace/v1``: every record a prior
+producer wrote is still valid, and consumers that predate the key
+ignore it.  The historical import path ``repro.sim.trace`` re-exports
+this module unchanged.
 """
 
 from __future__ import annotations
@@ -67,6 +76,8 @@ KINDS = (
     "pull_request",
     "pull_reply",
     "view_shuffle",
+    "recv",
+    "timer_fire",
 )
 
 _KIND_SET = frozenset(KINDS)
@@ -87,7 +98,7 @@ _PEER_OUT = frozenset(
     )
 )
 #: Kinds whose ``peer`` is a source or object (rendered ``<-``).
-_PEER_IN = frozenset(("receive", "suspect", "view_shuffle"))
+_PEER_IN = frozenset(("receive", "suspect", "view_shuffle", "recv"))
 
 
 @dataclass(frozen=True)
@@ -95,7 +106,10 @@ class TraceRecord:
     """One protocol action.
 
     Attributes:
-        round: the simulation round (0 = before the first round).
+        round: the simulation round (0 = before the first round), or
+            ``None`` for event-driven records that have no round — an
+            asynchronous runtime must not fabricate one.  A round-less
+            record is ordered by :attr:`time_us` instead.
         kind: one of :data:`KINDS`.
         process: the acting process (sender for sends/losses, receiver
             for receives/deliveries, publisher for publishes, the
@@ -112,23 +126,46 @@ class TraceRecord:
             for ``exclude``, cause code for ``fault_loss`` (1 = burst,
             2 = partition), hold duration in rounds for
             ``fault_delay``; 0 elsewhere.
+        time_us: microseconds since the run started (virtual or wall
+            clock), the ordering key for event-driven records.  ``None``
+            for purely round-keyed records.  Required when ``round`` is
+            ``None``.
     """
 
-    round: int
+    round: Optional[int]
     kind: str
     process: Address
     peer: Optional[Address]
     event_id: int
     depth: int
     value: int = 0
+    time_us: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KIND_SET:
             raise SimulationError(f"unknown trace kind {self.kind!r}")
-        if self.round < 0:
+        if self.round is None:
+            if self.time_us is None:
+                raise SimulationError(
+                    f"round-less {self.kind!r} record needs time_us"
+                )
+        elif self.round < 0:
             raise SimulationError(f"negative round {self.round}")
+        if self.time_us is not None and self.time_us < 0:
+            raise SimulationError(f"negative time_us {self.time_us}")
         if self.depth < 0:
             raise SimulationError(f"negative depth {self.depth}")
+
+    def order_key(self) -> Tuple[int, int]:
+        """A total order within one producer's stream.
+
+        Round-keyed records order by round; round-less event records by
+        timestamp.  The leading element keeps the two domains apart so
+        a mixed comparison never interleaves rounds with microseconds.
+        """
+        if self.round is not None:
+            return (0, self.round)
+        return (1, self.time_us or 0)
 
     def render(self) -> str:
         """One human-readable line."""
@@ -138,13 +175,17 @@ class TraceRecord:
         depth = f" @d{self.depth}" if self.depth else ""
         event = f" (event {self.event_id})" if self.event_id else ""
         value = f" [{self.value}]" if self.value else ""
+        stamp = (
+            f"{self.round:>4}" if self.round is not None
+            else f"t+{self.time_us}us"
+        )
         return (
-            f"[{self.round:>4}] {self.kind:<7} {self.process}{peer}"
+            f"[{stamp}] {self.kind:<7} {self.process}{peer}"
             f"{depth}{event}{value}"
         )
 
     def to_dict(self) -> Dict[str, object]:
-        """A JSON-ready dict (``value`` omitted when zero)."""
+        """A JSON-ready dict (``value``/``time_us`` omitted when unset)."""
         out: Dict[str, object] = {
             "round": self.round,
             "kind": self.kind,
@@ -155,6 +196,8 @@ class TraceRecord:
         }
         if self.value:
             out["value"] = self.value
+        if self.time_us is not None:
+            out["time_us"] = self.time_us
         return out
 
     @classmethod
@@ -166,14 +209,17 @@ class TraceRecord:
         """
         try:
             peer = data.get("peer")
+            round_value = data["round"]
+            time_us = data.get("time_us")
             return cls(
-                round=int(data["round"]),  # type: ignore[arg-type]
+                round=None if round_value is None else int(round_value),  # type: ignore[arg-type]
                 kind=str(data["kind"]),
                 process=Address.parse(str(data["process"])),
                 peer=None if peer is None else Address.parse(str(peer)),
                 event_id=int(data.get("event_id", 0)),  # type: ignore[arg-type]
                 depth=int(data.get("depth", 0)),  # type: ignore[arg-type]
                 value=int(data.get("value", 0)),  # type: ignore[arg-type]
+                time_us=None if time_us is None else int(time_us),  # type: ignore[arg-type]
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SimulationError(f"malformed trace record {data!r}") from exc
@@ -206,13 +252,14 @@ class TraceLog:
 
     def record(
         self,
-        round: int,
+        round: Optional[int],
         kind: str,
         process: Address,
         peer: Optional[Address] = None,
         event_id: int = 0,
         depth: int = 0,
         value: int = 0,
+        time_us: Optional[int] = None,
     ) -> None:
         """Validate and append one record.
 
@@ -222,7 +269,9 @@ class TraceLog:
         if kind not in _KIND_SET:
             raise SimulationError(f"unknown trace kind {kind!r}")
         self.append(
-            TraceRecord(round, kind, process, peer, event_id, depth, value)
+            TraceRecord(
+                round, kind, process, peer, event_id, depth, value, time_us
+            )
         )
 
     def append(self, record: TraceRecord) -> None:
@@ -236,7 +285,7 @@ class TraceLog:
         if per_kind is None:
             per_kind = self._by_kind[record.kind] = []
         per_kind.append(record)
-        if record.kind == "deliver":
+        if record.kind == "deliver" and record.round is not None:
             self._delivered_at.setdefault(
                 (record.process, record.event_id), record.round
             )

@@ -62,6 +62,7 @@ from repro.membership.gossip_pull import (
 from repro.membership.knowledge import build_view, refreshed_rows
 from repro.membership.tree import MembershipTree
 from repro.membership.views import ViewTable
+from repro.net.scheduler import Schedule
 from repro.obs.probes import NULL_OBSERVER, Observer
 from repro.obs.timeline import NULL_SPAN
 from repro.sim.network import LossyNetwork
@@ -108,6 +109,16 @@ class GroupRuntime:
             :meth:`crash`, so detection and exclusion react exactly as
             they would to any other silent crash.  A run with an empty
             plan is bit-identical to a run with none.
+        schedule: an optional :class:`~repro.net.scheduler.Schedule`
+            governing *how many* gossip steps each process takes per
+            round (:meth:`Schedule.fires_in_round` keyed by the dotted
+            address, 1-based rounds).  ``None`` — and any
+            round-synchronous schedule, e.g. the zero-jitter
+            :class:`~repro.net.scheduler.RoundSchedule` — reproduces
+            the engine's one-fire-per-round cadence bit for bit.
+            Jittered and straggler schedules model timers drifting
+            across round boundaries or running at a slower cadence;
+            a process firing zero times simply keeps buffering.
     """
 
     def __init__(
@@ -121,6 +132,7 @@ class GroupRuntime:
         active_scheduling: bool = True,
         observer: Optional[Observer] = None,
         fault_plan: Optional[FaultPlan] = None,
+        schedule: Optional[Schedule] = None,
     ):
         if not members:
             raise SimulationError("cannot start an empty runtime")
@@ -130,6 +142,8 @@ class GroupRuntime:
         self._exclusion_quorum = exclusion_quorum
         self._piggyback_membership = piggyback_membership
         self._active_scheduling = active_scheduling
+        self._schedule = schedule
+        self._schedule_keys: Dict[Address, str] = {}
         self._tree = MembershipTree.build(members, self._config.redundancy)
         self._clock = 0
         self._round = 0
@@ -457,6 +471,22 @@ class GroupRuntime:
             self._membership_round()
             self._detection_round()
 
+    def _fires_for(self, address: Address) -> int:
+        """How many gossip steps ``address`` takes this round.
+
+        The scheduler seam: without a schedule every process fires
+        exactly once per round (the hard-wired engine cadence); with
+        one, :meth:`~repro.net.scheduler.Schedule.fires_in_round`
+        decides — 0 models a straggler sitting the round out, 2 a
+        jittered timer drifting across the boundary.
+        """
+        if self._schedule is None:
+            return 1
+        key = self._schedule_keys.get(address)
+        if key is None:
+            key = self._schedule_keys[address] = str(address)
+        return self._schedule.fires_in_round(key, self._round)
+
     def _fan_out_round(self) -> List[Envelope]:
         """Collect this round's gossip envelopes from every live node.
 
@@ -472,13 +502,19 @@ class GroupRuntime:
                 node = self._nodes[address]
                 if not node.alive or address not in self._tree:
                     continue
-                envelopes.extend(node.gossip_step(self._ctx))
+                for __ in range(self._fires_for(address)):
+                    envelopes.extend(node.gossip_step(self._ctx))
+                    if node.is_idle:
+                        break
                 if node.is_idle:
                     self._active.discard(address)
         else:
             for address, node in self._nodes.items():
                 if node.alive and address in self._tree:
-                    envelopes.extend(node.gossip_step(self._ctx))
+                    for __ in range(self._fires_for(address)):
+                        envelopes.extend(node.gossip_step(self._ctx))
+                        if node.is_idle:
+                            break
                     if node.is_idle:
                         self._active.discard(address)
         return envelopes

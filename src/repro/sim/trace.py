@@ -4,6 +4,13 @@ The trace substrate grew from engine-only instrumentation into the
 unified observability schema shared by the engine, the live runtime
 and the membership layer; it now lives in :mod:`repro.obs.trace`.
 This module remains as the historical import path.
+
+Records are no longer guaranteed to carry a round number: event-driven
+producers (:mod:`repro.net`) emit records with ``round = None`` and a
+wall-clock ``time_us`` ordering key instead — a round-synchronous
+concept must not be fabricated where none exists.  Code importing
+through this shim that assumes ``record.round`` is an ``int`` must
+guard for ``None`` (see ``TraceRecord.order_key``).
 """
 
 from repro.obs.trace import KINDS, TRACE_SCHEMA, TraceLog, TraceRecord

@@ -155,6 +155,33 @@ class DisseminationVariant(ABC):
     def fan_out(self, rounds: int) -> List[Any]:
         """The round's envelopes, in deterministic sender order."""
 
+    def fan_out_one(self, address: Address, rounds: int) -> List[Any]:
+        """One process's envelopes for its timer fire (event runtimes).
+
+        The per-process half of :meth:`fan_out`: the event-driven
+        runtime (:mod:`repro.net.runtime`) drives each process from its
+        own timer instead of walking the active set.  A variant that
+        supports event-driven execution must make firing every active
+        process once, in active-set order, consume RNG exactly like one
+        :meth:`fan_out` call — that is what keeps the zero-jitter
+        event run bit-identical.  Variants without per-process state
+        simply do not override this.
+        """
+        raise NotImplementedError(
+            f"variant {self.name!r} does not support per-process fan-out"
+        )
+
+    def is_process_active(self, address: Address) -> bool:
+        """Whether ``address`` still has protocol work pending.
+
+        Event runtimes use this for lazy timer cancellation: a popped
+        timer whose process went idle or crashed is skipped without
+        consuming any randomness.
+        """
+        raise NotImplementedError(
+            f"variant {self.name!r} does not support per-process fan-out"
+        )
+
     @abstractmethod
     def receive(
         self, envelope: Any, emit: Optional[Emit], rounds: int

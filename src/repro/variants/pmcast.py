@@ -26,7 +26,68 @@ from repro.sim.metrics import DisseminationReport
 from repro.sim.network import LossyNetwork
 from repro.variants.base import DisseminationVariant, Emit
 
-__all__ = ["PmcastVariant"]
+__all__ = ["PmcastVariant", "assemble_pmcast_report"]
+
+
+def assemble_pmcast_report(
+    group: PmcastGroup,
+    publisher: Address,
+    event: Event,
+    interested: set,
+    infected_count: int,
+    rounds: int,
+    infection_curve: Tuple[int, ...],
+    messages_by_distance: Tuple[int, ...],
+    messages_lost: int,
+    crashed: int,
+    sent_before: int = 0,
+    receptions_before: int = 0,
+) -> DisseminationReport:
+    """Read a run's outcome back out of the group's nodes.
+
+    The report is a pure function of the node state after the last
+    round plus the run-level tallies the caller tracked — shared by
+    :meth:`PmcastVariant.finalize` and the event-driven runtimes in
+    :mod:`repro.net`, so every execution style scores a run with the
+    same arithmetic.
+    """
+    delivered_interested = sum(
+        1
+        for address in interested
+        if group.node(address).has_delivered(event)
+    )
+    uninterested = [
+        address
+        for address in group.addresses()
+        if address not in interested and address != publisher
+    ]
+    received_uninterested = sum(
+        1
+        for address in uninterested
+        if group.node(address).has_received(event)
+    )
+    messages_sent = (
+        sum(node.messages_sent for node in group.nodes()) - sent_before
+    )
+    receptions = (
+        sum(node.receptions for node in group.nodes()) - receptions_before
+    )
+    first_receptions = infected_count - 1  # the publisher never receives
+    return DisseminationReport(
+        group_size=group.size,
+        interested=len(interested),
+        uninterested=len(uninterested),
+        delivered_interested=delivered_interested,
+        received_uninterested=received_uninterested,
+        received_total=infected_count,
+        crashed=crashed,
+        rounds=rounds,
+        messages_sent=messages_sent,
+        messages_lost=messages_lost,
+        duplicate_receptions=max(receptions - first_receptions, 0),
+        infection_curve=infection_curve,
+        messages_by_distance=messages_by_distance,
+    )
 
 
 class PmcastVariant(DisseminationVariant):
@@ -120,6 +181,20 @@ class PmcastVariant(DisseminationVariant):
             del self.active[address]
         return envelopes
 
+    def fan_out_one(self, address: Address, rounds: int) -> List[Envelope]:
+        # The per-timer half of fan_out: one gossip_step on the shared
+        # RNG, idle nodes leave the active set immediately.  (The batch
+        # path defers the deletes to after its loop, but gossip_step
+        # never reads the active set, so the timing is unobservable.)
+        node = self.active[address]
+        envelopes = node.gossip_step(self.ctx)
+        if node.is_idle:
+            del self.active[address]
+        return envelopes
+
+    def is_process_active(self, address: Address) -> bool:
+        return address in self.active
+
     def receive(
         self, envelope: Envelope, emit: Optional[Emit], rounds: int
     ) -> None:
@@ -167,45 +242,18 @@ class PmcastVariant(DisseminationVariant):
         crash_schedule: CrashSchedule,
         injector: Optional[Any],
     ) -> DisseminationReport:
-        group, event = self.group, self.event
-        delivered_interested = sum(
-            1
-            for address in self.interested
-            if group.node(address).has_delivered(event)
-        )
-        uninterested = [
-            address
-            for address in group.addresses()
-            if address not in self.interested and address != self.publisher
-        ]
-        received_uninterested = sum(
-            1
-            for address in uninterested
-            if group.node(address).has_received(event)
-        )
-        received_total = len(self.infected)
-        messages_sent = (
-            sum(node.messages_sent for node in group.nodes())
-            - self.sent_before
-        )
-        receptions = (
-            sum(node.receptions for node in group.nodes())
-            - self.receptions_before
-        )
-        first_receptions = received_total - 1  # the publisher never receives
-        return DisseminationReport(
-            group_size=group.size,
-            interested=len(self.interested),
-            uninterested=len(uninterested),
-            delivered_interested=delivered_interested,
-            received_uninterested=received_uninterested,
-            received_total=received_total,
-            crashed=crash_schedule.victim_count
+        return assemble_pmcast_report(
+            self.group,
+            self.publisher,
+            self.event,
+            self.interested,
+            len(self.infected),
+            rounds,
+            infection_curve,
+            messages_by_distance,
+            network.messages_lost,
+            crash_schedule.victim_count
             + (0 if injector is None else injector.stats()["targeted_crashes"]),
-            rounds=rounds,
-            messages_sent=messages_sent,
-            messages_lost=network.messages_lost,
-            duplicate_receptions=max(receptions - first_receptions, 0),
-            infection_curve=infection_curve,
-            messages_by_distance=messages_by_distance,
+            sent_before=self.sent_before,
+            receptions_before=self.receptions_before,
         )

@@ -1,0 +1,233 @@
+"""Transport seam: deterministic flush batching and the UDP endpoint."""
+
+import asyncio
+
+import pytest
+
+from repro.addressing import Address
+from repro.core.messages import Envelope, GossipMessage
+from repro.errors import NetError
+from repro.interests.events import Event
+from repro.net.clock import VirtualClock
+from repro.net.transport import (
+    FairLossUdpTransport,
+    SimTransport,
+    UdpEndpointRegistry,
+    decode_envelope,
+    encode_envelope,
+)
+from repro.sim.network import LossyNetwork
+from repro.sim.rng import derive_rng
+
+
+def make_envelope(sender="0.0.1", dest="0.0.2", event_id=7, depth=1):
+    return Envelope(
+        destination=Address.parse(dest),
+        message=GossipMessage(
+            event=Event({"k": 1}, event_id=event_id),
+            rate=0.5,
+            round=0,
+            depth=depth,
+            sender=Address.parse(sender),
+        ),
+    )
+
+
+class TestSimTransport:
+    def test_send_batches_by_flush_instant(self):
+        clock = VirtualClock()
+        transport = SimTransport(clock, LossyNetwork(0.0, derive_rng(1, "net")), latency_us=50)
+        first = make_envelope(dest="0.0.2")
+        second = make_envelope(dest="0.0.3")
+        transport.send(first)
+        transport.send(second)
+        assert transport.in_flight
+        # One flush event for both sends at the same instant.
+        assert clock.pending == 1
+        when, __, __, payload = clock.pop()
+        assert when == 50
+        assert payload == ("flush", 50)
+        assert transport.take(50) == [first, second]
+        assert not transport.in_flight
+
+    def test_take_without_batch_raises(self):
+        transport = SimTransport(
+            VirtualClock(), LossyNetwork(0.0, derive_rng(1, "net")), latency_us=50
+        )
+        with pytest.raises(NetError):
+            transport.take(50)
+
+    def test_sends_at_different_instants_get_different_batches(self):
+        clock = VirtualClock()
+        transport = SimTransport(clock, LossyNetwork(0.0, derive_rng(1, "net")), latency_us=50)
+        early = make_envelope(dest="0.0.2")
+        transport.send(early)
+        clock.schedule(100, 1, "advance")
+        clock.pop()  # flush(50)
+        assert transport.take(50) == [early]
+        clock.pop()  # advance to t=100
+        late = make_envelope(dest="0.0.3")
+        transport.send(late)
+        clock.pop()
+        assert transport.take(150) == [late]
+
+    def test_transmit_runs_the_loss_model_in_send_order(self):
+        network = LossyNetwork(0.0, derive_rng(1, "net"))
+        transport = SimTransport(VirtualClock(), LossyNetwork(0.0, derive_rng(1, "net")), 50)
+        batch = [make_envelope(dest=f"0.1.{i}") for i in range(3)]
+        assert transport.transmit(batch, 0) == batch
+        assert network.messages_lost == 0
+
+    def test_ensure_flush_is_idempotent(self):
+        clock = VirtualClock()
+        transport = SimTransport(clock, LossyNetwork(0.0, derive_rng(1, "net")), latency_us=50)
+        batch = transport.ensure_flush(80)
+        assert transport.ensure_flush(80) is batch
+        assert clock.pending == 1
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(NetError):
+            SimTransport(VirtualClock(), LossyNetwork(0.0, derive_rng(1, "net")), latency_us=0)
+
+
+class TestWireFormat:
+    def test_envelope_round_trips(self):
+        envelope = make_envelope(
+            sender="1.2.3", dest="2.3.1", event_id=99, depth=2
+        )
+        decoded = decode_envelope(encode_envelope(envelope))
+        assert decoded.destination == envelope.destination
+        assert decoded.message.sender == envelope.message.sender
+        assert decoded.message.depth == envelope.message.depth
+        assert (
+            decoded.message.event.event_id
+            == envelope.message.event.event_id
+        )
+
+    @pytest.mark.parametrize(
+        "data", [b"", b"not json", b"[]", b'{"to": "0.1"}']
+    )
+    def test_malformed_datagrams_raise_net_error(self, data):
+        with pytest.raises(NetError):
+            decode_envelope(data)
+
+
+class TestUdpEndpointRegistry:
+    def test_register_and_resolve(self):
+        registry = UdpEndpointRegistry()
+        registry.register(Address.parse("0.0.1"), "127.0.0.1", 9000)
+        assert registry.resolve(Address.parse("0.0.1")) == (
+            "127.0.0.1", 9000,
+        )
+        assert len(registry) == 1
+
+    def test_unknown_address_raises(self):
+        with pytest.raises(NetError):
+            UdpEndpointRegistry().resolve(Address.parse("0.0.1"))
+
+
+async def _udp_pair(loss_probability=0.0, rng=None):
+    registry = UdpEndpointRegistry()
+    received = []
+    sender = await FairLossUdpTransport.create(
+        Address.parse("0.0.1"), registry, lambda e: None,
+        loss_probability=loss_probability, rng=rng,
+    )
+    receiver = await FairLossUdpTransport.create(
+        Address.parse("0.0.2"), registry, received.append,
+    )
+    return sender, receiver, received
+
+
+class TestFairLossUdpTransport:
+    def test_delivers_datagrams_on_localhost(self):
+        async def scenario():
+            try:
+                sender, receiver, received = await _udp_pair()
+            except OSError as exc:
+                pytest.skip(f"UDP sockets unavailable: {exc}")
+            try:
+                envelope = make_envelope(dest="0.0.2")
+                sender.send(envelope)
+                for __ in range(100):
+                    if received:
+                        break
+                    await asyncio.sleep(0.01)
+                assert received, "datagram never arrived"
+                assert received[0].destination == envelope.destination
+                assert sender.messages_sent == 1
+                assert receiver.messages_received == 1
+            finally:
+                sender.close()
+                receiver.close()
+
+        asyncio.run(scenario())
+
+    def test_software_loss_drops_at_send(self):
+        async def scenario():
+            try:
+                sender, receiver, received = await _udp_pair(
+                    loss_probability=0.999999,
+                    rng=derive_rng(3, "loss"),
+                )
+            except OSError as exc:
+                pytest.skip(f"UDP sockets unavailable: {exc}")
+            try:
+                for __ in range(20):
+                    sender.send(make_envelope(dest="0.0.2"))
+                await asyncio.sleep(0.05)
+                assert sender.messages_lost == 20
+                assert not received
+            finally:
+                sender.close()
+                receiver.close()
+
+        asyncio.run(scenario())
+
+    def test_malformed_datagram_is_counted_not_raised(self):
+        async def scenario():
+            try:
+                sender, receiver, received = await _udp_pair()
+            except OSError as exc:
+                pytest.skip(f"UDP sockets unavailable: {exc}")
+            try:
+                loop = asyncio.get_running_loop()
+                endpoint = sender._endpoint
+                endpoint.sendto(
+                    b"garbage",
+                    sender._registry.resolve(Address.parse("0.0.2")),
+                )
+                for __ in range(100):
+                    if receiver.malformed_datagrams:
+                        break
+                    await asyncio.sleep(0.01)
+                assert receiver.malformed_datagrams == 1
+                assert not received
+                assert loop.is_running()
+            finally:
+                sender.close()
+                receiver.close()
+
+        asyncio.run(scenario())
+
+    def test_send_after_close_raises(self):
+        async def scenario():
+            try:
+                sender, receiver, __ = await _udp_pair()
+            except OSError as exc:
+                pytest.skip(f"UDP sockets unavailable: {exc}")
+            sender.close()
+            receiver.close()
+            with pytest.raises(NetError):
+                sender.send(make_envelope(dest="0.0.2"))
+
+        asyncio.run(scenario())
+
+    def test_rejects_loss_probability_of_one(self):
+        with pytest.raises(NetError):
+            FairLossUdpTransport(
+                Address.parse("0.0.1"),
+                UdpEndpointRegistry(),
+                lambda e: None,
+                loss_probability=1.0,
+            )

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.bench",
     "repro.par",
+    "repro.net",
 ]
 
 
@@ -74,6 +75,7 @@ class TestPublicApi:
             ConfigError,
             ElectionError,
             MembershipError,
+            NetError,
             ParseError,
             PredicateError,
             ProtocolError,
@@ -86,6 +88,7 @@ class TestPublicApi:
             ConfigError,
             ElectionError,
             MembershipError,
+            NetError,
             ParseError,
             PredicateError,
             ProtocolError,
